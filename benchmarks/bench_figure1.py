@@ -1,0 +1,114 @@
+"""Figure 1 -- No-cut cubes and min-cut cubes.
+
+Figure 1 is the paper's structural diagram of the hybrid engine: the
+abstract model N, its min-cut design MC with far fewer primary inputs,
+and the classification of pre-image cubes into *no-cut* (registers and
+primary inputs of N only) and *min-cut* (assigning internal cut signals)
+cubes.  This bench regenerates the quantitative content behind the
+figure for the Table-1 abstract models:
+
+    model inputs vs min-cut inputs (the claimed "thousands -> a couple
+    hundred" reduction), and the no-cut / min-cut cube mix the hybrid
+    engine actually saw while building each abstract error trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.abstraction import Abstraction
+from repro.core.hybrid import HybridTraceEngine
+from repro.designs import table1_workloads
+from repro.mc import ImageComputer, SymbolicEncoding, forward_reach
+from repro.mc.reach import ReachOutcome
+from repro.mincut import min_cut_design
+from reporting import emit_table
+
+WORKLOADS = [
+    w for w in table1_workloads() if w.name in ("mutex", "psh_hf")
+]
+_ROWS = []
+
+
+def refined_model(workload, max_rounds=8):
+    """The largest refined abstract model that still has an abstract
+    counterexample (once the model proves the property there is no error
+    trace for the hybrid engine to build)."""
+    from repro.core.hybrid import HybridTraceEngine as Engine
+    from repro.core.refine import refine_from_trace
+
+    abstraction = Abstraction.initial(workload.circuit, workload.prop)
+    best_kept = set(abstraction.kept_registers)
+    for _ in range(max_rounds):
+        encoding = SymbolicEncoding(abstraction.model)
+        images = ImageComputer(encoding)
+        target = encoding.state_cube(dict(workload.prop.target))
+        reach = forward_reach(
+            images, encoding.initial_states(), target=target
+        )
+        if reach.outcome is not ReachOutcome.TARGET_HIT:
+            break
+        best_kept = set(abstraction.kept_registers)
+        engine = Engine(abstraction.model, encoding, images)
+        trace = engine.build_trace(reach, target)
+        refinement = refine_from_trace(abstraction, trace)
+        if abstraction.refine(refinement.registers) == 0:
+            break
+    return Abstraction(
+        original=workload.circuit,
+        prop=workload.prop,
+        kept_registers=best_kept,
+    )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_figure1_mincut_reduction(benchmark, workload):
+    abstraction = refined_model(workload)
+    model = abstraction.model
+
+    result = benchmark.pedantic(
+        lambda: min_cut_design(model), rounds=1, iterations=1
+    )
+    assert result.num_inputs <= model.num_inputs
+    internal = len(result.internal_cut_signals)
+
+    # Drive the hybrid engine once to count cube classifications.
+    encoding = SymbolicEncoding(model)
+    images = ImageComputer(encoding)
+    target = encoding.state_cube(dict(workload.prop.target))
+    reach = forward_reach(images, encoding.initial_states(), target=target)
+    direct = atpg = trace_len = 0
+    if reach.outcome is ReachOutcome.TARGET_HIT:
+        engine = HybridTraceEngine(model, encoding, images)
+        trace = engine.build_trace(reach, target)
+        direct = engine.stats.direct_no_cut
+        atpg = engine.stats.atpg_calls
+        trace_len = trace.length
+    _ROWS.append(
+        (
+            workload.name,
+            model.num_registers,
+            model.num_inputs,
+            result.num_inputs,
+            internal,
+            direct,
+            atpg,
+            trace_len,
+        )
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    if not _ROWS:
+        return
+    emit_table(
+        "figure1",
+        "Figure 1. Abstract model N vs min-cut design MC, and the "
+        "no-cut / min-cut cube mix in the hybrid engine",
+        ["Property", "N regs", "N inputs", "MC inputs",
+         "internal cut signals", "no-cut cubes", "ATPG-justified cubes",
+         "trace cycles"],
+        _ROWS,
+    )

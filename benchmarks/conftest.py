@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+The paper's evaluation tables are regenerated at a CI-friendly scale by
+default; set ``REPRO_PAPER_SCALE=1`` to build the paper-scale designs
+(slow: Python BDDs vs the paper's C engines -- see DESIGN.md section 5).
+
+Adds the benchmarks directory to ``sys.path`` so the bench files can
+import the shared ``reporting`` helpers.
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(__file__)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)

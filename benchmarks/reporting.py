@@ -1,0 +1,40 @@
+"""Shared reporting helpers for the benchmark harnesses.
+
+pytest captures stdout during tests, so the regenerated paper tables are
+written both to ``benchmarks/out/<name>.txt`` and to the *real* stdout
+(``sys.__stdout__``), making them visible in a plain
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit_table(name: str, title: str, header: Sequence[str],
+               rows: List[Sequence[object]]) -> str:
+    """Render an aligned text table; write it to disk and real stdout."""
+    widths = [len(h) for h in header]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    text = "\n".join(lines) + "\n"
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    sys.__stdout__.write("\n" + text)
+    sys.__stdout__.flush()
+    return path

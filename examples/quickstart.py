@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: verify and falsify safety properties with RFN.
+
+Builds a small gate-level design with the netlist API, states two safety
+properties as unreachability properties (via watchdogs), and runs the RFN
+abstraction-refinement loop on both -- one verifies, one is falsified
+with a concrete error trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import RFN, RfnConfig, watchdog_property
+from repro.netlist import Circuit
+from repro.netlist.words import WordReg, w_eq_const, w_inc, w_mux
+
+
+def build_design():
+    """A 4-bit counter that should saturate at 10 -- but a planted bug
+    lets it slip past when `boost` is held."""
+    c = Circuit("quickstart")
+    boost = c.add_input("boost")
+    cnt = WordReg(c, "cnt", 4, init=0)
+    nxt, _ = w_inc(c, cnt.q)
+    at_cap = w_eq_const(c, cnt.q, 10)
+    # Bug: saturation is skipped while `boost` is high.
+    hold = c.g_and(at_cap, c.g_not(boost))
+    cnt.drive(w_mux(c, hold, nxt, cnt.q))
+
+    never_zero_after_cap = watchdog_property(
+        c, c.g_and(at_cap, boost, c.g_const(0)), "vacuous_true"
+    )
+    overflow = watchdog_property(
+        c, w_eq_const(c, cnt.q, 12), "overflow"
+    )
+    c.validate()
+    return c, {"vacuous_true": never_zero_after_cap, "overflow": overflow}
+
+
+def main():
+    circuit, props = build_design()
+    print(f"design: {circuit}")
+
+    for name, prop in props.items():
+        print(f"\n=== property {name!r} ===")
+        result = RFN(circuit, prop, RfnConfig(log=lambda m: print("  " + m))).run()
+        print(f"status: {result.status.value}")
+        print(f"abstract model: {result.abstract_model_registers} of "
+              f"{circuit.num_registers} registers")
+        if result.falsified:
+            print("concrete error trace:")
+            print(result.trace.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""RFN: formal property verification by abstraction refinement.
+
+A from-scratch Python reproduction of "Formal Property Verification by
+Abstraction Refinement with Formal, Simulation and Hybrid Engines"
+(Wang et al., DAC 2001).
+
+Subpackages
+-----------
+``repro.netlist``
+    Gate-level design model and structural operations.
+``repro.bdd``
+    From-scratch ROBDD package (the paper used CUDD).
+``repro.sat`` / ``repro.atpg``
+    CDCL SAT core and the combinational/sequential ATPG engines built on it.
+``repro.sim``
+    3-valued and random gate-level simulation.
+``repro.mincut``
+    Free-cut / min-cut subcircuit extraction (max-flow based).
+``repro.mc``
+    BDD-based symbolic model checking (images, reachability, COI baseline).
+``repro.core``
+    The RFN abstraction-refinement loop, the BDD-ATPG hybrid trace engine,
+    guided sequential ATPG, two-phase refinement, coverage-state analysis
+    and the BFS-abstraction baseline.
+``repro.designs``
+    Parameterized benchmark design generators mirroring the paper's
+    evaluation workloads.
+"""
+
+__version__ = "0.1.0"

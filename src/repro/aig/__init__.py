@@ -1,0 +1,30 @@
+"""And-inverter graphs (AIGs).
+
+A compact structural representation used throughout modern gate-level
+flows: every combinational function is a DAG of two-input ANDs with
+complemented edges, hash-consed so that structurally identical logic is
+shared.  This package provides:
+
+- :mod:`repro.aig.graph` -- the AIG itself (literals, AND nodes, latches,
+  constant folding and structural hashing),
+- :mod:`repro.aig.convert` -- conversion to/from :class:`repro.netlist.Circuit`
+  (which doubles as a light structural optimizer: constant propagation,
+  sharing, double-negation removal),
+- :mod:`repro.aig.aiger` -- the AIGER ASCII (``.aag``) interchange format,
+  so designs can round-trip with external tools (ABC, aigsim, ...).
+"""
+
+from repro.aig.graph import AIG, FALSE_LIT, TRUE_LIT
+from repro.aig.convert import aig_to_circuit, circuit_to_aig, strash_circuit
+from repro.aig.aiger import parse_aiger, to_aiger
+
+__all__ = [
+    "AIG",
+    "FALSE_LIT",
+    "TRUE_LIT",
+    "aig_to_circuit",
+    "circuit_to_aig",
+    "parse_aiger",
+    "strash_circuit",
+    "to_aiger",
+]

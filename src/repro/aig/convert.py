@@ -1,0 +1,139 @@
+"""Circuit <-> AIG conversion and structural optimization.
+
+``circuit_to_aig`` maps every primitive gate onto AND/NOT structure with
+hash-consing, so shared and constant logic collapses on the way in.
+``aig_to_circuit`` rebuilds a gate-level circuit (AND2/NOT gates only).
+``strash_circuit`` is the round trip: a light structural optimizer that
+preserves sequential behaviour while removing duplicate and constant
+logic -- the kind of cleanup a synthesis front end performs before
+handing designs to the verification engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.aig.graph import AIG, FALSE_LIT, TRUE_LIT, lit_is_negated, lit_var
+from repro.netlist.cell import GateOp
+from repro.netlist.circuit import Circuit
+
+
+def circuit_to_aig(circuit: Circuit, name: Optional[str] = None) -> AIG:
+    """Convert a circuit to a hash-consed AIG.
+
+    Circuit outputs marked with :meth:`Circuit.mark_output` become AIG
+    outputs; when none are marked, every register data input is exported
+    so nothing is dead."""
+    aig = AIG(name or circuit.name)
+    literal: Dict[str, int] = {}
+    for input_name in circuit.inputs:
+        literal[input_name] = aig.add_input(input_name)
+    for reg_name, reg in circuit.registers.items():
+        literal[reg_name] = aig.add_latch(reg_name, init=reg.init)
+    for gate in circuit.topo_gates():
+        fanins = [literal[s] for s in gate.inputs]
+        op = gate.op
+        if op is GateOp.AND:
+            lit = aig.land_many(fanins)
+        elif op is GateOp.NAND:
+            lit = aig.lnot(aig.land_many(fanins))
+        elif op is GateOp.OR:
+            lit = aig.lor_many(fanins)
+        elif op is GateOp.NOR:
+            lit = aig.lnot(aig.lor_many(fanins))
+        elif op is GateOp.NOT:
+            lit = aig.lnot(fanins[0])
+        elif op is GateOp.BUF:
+            lit = fanins[0]
+        elif op in (GateOp.XOR, GateOp.XNOR):
+            acc = FALSE_LIT
+            for fanin in fanins:
+                acc = aig.lxor(acc, fanin)
+            lit = aig.lnot(acc) if op is GateOp.XNOR else acc
+        elif op is GateOp.MUX:
+            lit = aig.lmux(fanins[0], fanins[1], fanins[2])
+        elif op is GateOp.CONST0:
+            lit = FALSE_LIT
+        elif op is GateOp.CONST1:
+            lit = TRUE_LIT
+        else:  # pragma: no cover
+            raise ValueError(f"unknown gate op {op!r}")
+        literal[gate.output] = lit
+    for reg_name, reg in circuit.registers.items():
+        aig.set_latch_next(reg_name, literal[reg.data])
+    if circuit.outputs:
+        for output in circuit.outputs:
+            aig.add_output(output, literal[output])
+    else:
+        for reg_name, reg in circuit.registers.items():
+            aig.add_output(f"{reg_name}$next", literal[reg.data])
+    aig.validate()
+    return aig
+
+
+def aig_to_circuit(aig: AIG, name: Optional[str] = None) -> Circuit:
+    """Rebuild a gate-level circuit (AND2 + NOT gates) from an AIG.
+
+    Latch and input names are preserved; internal nets are generated."""
+    circuit = Circuit(name or aig.name)
+    positive: Dict[int, str] = {}  # var -> signal carrying 2*var
+
+    const0: Optional[str] = None
+
+    def const_zero() -> str:
+        nonlocal const0
+        if const0 is None:
+            const0 = circuit.g_const(0, output="aig$const0")
+        return const0
+
+    for input_name, lit in aig.inputs:
+        positive[lit_var(lit)] = circuit.add_input(input_name)
+    for latch in aig.latches:
+        positive[lit_var(latch.lit)] = circuit.add_register(
+            f"{latch.name}$next", init=latch.init, output=latch.name
+        )
+
+    negations: Dict[int, str] = {}
+
+    def signal_for(lit: int) -> str:
+        if lit == FALSE_LIT:
+            return const_zero()
+        if lit == TRUE_LIT:
+            zero = const_zero()
+            key = -1
+            if key not in negations:
+                negations[key] = circuit.g_not(zero, output="aig$const1")
+            return negations[key]
+        base = positive[lit_var(lit)]
+        if not lit_is_negated(lit):
+            return base
+        if lit not in negations:
+            negations[lit] = circuit.g_not(base)
+        return negations[lit]
+
+    for var, lit0, lit1 in aig.iter_ands():
+        positive[var] = circuit.g_and(signal_for(lit0), signal_for(lit1))
+
+    for latch in aig.latches:
+        circuit.g_buf(signal_for(latch.next_lit), output=f"{latch.name}$next")
+    for output_name, lit in aig.outputs:
+        if circuit.is_defined(output_name):
+            circuit.mark_output(output_name)
+        else:
+            circuit.g_buf(signal_for(lit), output=output_name)
+            circuit.mark_output(output_name)
+    circuit.validate()
+    return circuit
+
+
+def strash_circuit(circuit: Circuit, keep: Iterable[str] = ()) -> Circuit:
+    """Structurally optimize a circuit through an AIG round trip.
+
+    ``keep`` lists extra signals to preserve as named outputs (e.g.
+    property signals); inputs and registers always keep their names, so
+    properties over register outputs survive unchanged.
+    """
+    work = circuit.copy()
+    for signal in keep:
+        work.mark_output(signal)
+    return aig_to_circuit(circuit_to_aig(work), name=f"{circuit.name}.strash")

@@ -1,0 +1,198 @@
+"""The and-inverter graph data structure.
+
+Literal convention (as in the AIGER format): variable ``v`` has the
+positive literal ``2*v`` and the negated literal ``2*v + 1``; variable 0
+is the constant FALSE, so literal 0 is FALSE and literal 1 is TRUE.
+
+AND nodes are hash-consed with their fanins normalized (smaller literal
+first) and constant-folded on construction:
+
+- ``x & 0 = 0``, ``x & 1 = x``, ``x & x = x``, ``x & ~x = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+
+def lit_negate(lit: int) -> int:
+    return lit ^ 1
+
+
+def lit_var(lit: int) -> int:
+    return lit >> 1
+
+
+def lit_is_negated(lit: int) -> bool:
+    return bool(lit & 1)
+
+
+@dataclass
+class Latch:
+    name: str
+    lit: int  # the positive literal of the latch variable
+    init: Optional[int] = 0
+    next_lit: Optional[int] = None
+
+
+class AIG:
+    """A sequential and-inverter graph."""
+
+    def __init__(self, name: str = "aig") -> None:
+        self.name = name
+        self._num_vars = 0  # excluding the constant
+        self.inputs: List[Tuple[str, int]] = []
+        self.latches: List[Latch] = []
+        self.outputs: List[Tuple[str, int]] = []
+        # and node: var -> (lit0, lit1); strash: (lit0, lit1) -> var
+        self._ands: Dict[int, Tuple[int, int]] = {}
+        self._strash: Dict[Tuple[int, int], int] = {}
+        self._input_names: Dict[str, int] = {}
+        self._latch_names: Dict[str, Latch] = {}
+
+    # ------------------------------------------------------------------
+
+    def _new_var(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_input(self, name: str) -> int:
+        if name in self._input_names or name in self._latch_names:
+            raise ValueError(f"duplicate AIG signal {name!r}")
+        lit = 2 * self._new_var()
+        self.inputs.append((name, lit))
+        self._input_names[name] = lit
+        return lit
+
+    def add_latch(self, name: str, init: Optional[int] = 0) -> int:
+        if name in self._input_names or name in self._latch_names:
+            raise ValueError(f"duplicate AIG signal {name!r}")
+        lit = 2 * self._new_var()
+        latch = Latch(name=name, lit=lit, init=init)
+        self.latches.append(latch)
+        self._latch_names[name] = latch
+        return lit
+
+    def set_latch_next(self, name: str, next_lit: int) -> None:
+        latch = self._latch_names.get(name)
+        if latch is None:
+            raise KeyError(f"unknown latch {name!r}")
+        if latch.next_lit is not None:
+            raise ValueError(f"latch {name!r} already driven")
+        latch.next_lit = next_lit
+
+    def add_output(self, name: str, lit: int) -> None:
+        self.outputs.append((name, lit))
+
+    # ------------------------------------------------------------------
+    # Logic construction
+    # ------------------------------------------------------------------
+
+    def land(self, a: int, b: int) -> int:
+        if a > b:
+            a, b = b, a
+        if a == FALSE_LIT:
+            return FALSE_LIT
+        if a == TRUE_LIT:
+            return b
+        if a == b:
+            return a
+        if a == lit_negate(b):
+            return FALSE_LIT
+        key = (a, b)
+        var = self._strash.get(key)
+        if var is None:
+            var = self._new_var()
+            self._ands[var] = key
+            self._strash[key] = var
+        return 2 * var
+
+    def lnot(self, a: int) -> int:
+        return lit_negate(a)
+
+    def lor(self, a: int, b: int) -> int:
+        return lit_negate(self.land(lit_negate(a), lit_negate(b)))
+
+    def lxor(self, a: int, b: int) -> int:
+        return self.lor(
+            self.land(a, lit_negate(b)), self.land(lit_negate(a), b)
+        )
+
+    def lmux(self, sel: int, d0: int, d1: int) -> int:
+        """``d1`` when ``sel`` else ``d0``."""
+        return self.lor(self.land(sel, d1), self.land(lit_negate(sel), d0))
+
+    def land_many(self, literals: List[int]) -> int:
+        acc = TRUE_LIT
+        for lit in literals:
+            acc = self.land(acc, lit)
+        return acc
+
+    def lor_many(self, literals: List[int]) -> int:
+        acc = FALSE_LIT
+        for lit in literals:
+            acc = self.lor(acc, lit)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._ands)
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def and_node(self, var: int) -> Tuple[int, int]:
+        return self._ands[var]
+
+    def is_and(self, var: int) -> bool:
+        return var in self._ands
+
+    def iter_ands(self):
+        """(var, lit0, lit1) triples in topological (numeric) order."""
+        for var in sorted(self._ands):
+            lit0, lit1 = self._ands[var]
+            yield var, lit0, lit1
+
+    def validate(self) -> None:
+        for latch in self.latches:
+            if latch.next_lit is None:
+                raise ValueError(f"latch {latch.name!r} has no next-state")
+        for var, (lit0, lit1) in self._ands.items():
+            if lit_var(lit0) >= var or lit_var(lit1) >= var:
+                raise ValueError(f"AND {var} references a later variable")
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Combinationally evaluate outputs and latch next-states given
+        values for the inputs and latch outputs."""
+        values: Dict[int, int] = {0: 0}
+        for name, lit in self.inputs:
+            values[lit_var(lit)] = assignment[name]
+        for latch in self.latches:
+            values[lit_var(latch.lit)] = assignment[latch.name]
+
+        def value_of(lit: int) -> int:
+            base = values[lit_var(lit)]
+            return base ^ 1 if lit_is_negated(lit) else base
+
+        for var, lit0, lit1 in self.iter_ands():
+            values[var] = value_of(lit0) & value_of(lit1)
+        result = {name: value_of(lit) for name, lit in self.outputs}
+        for latch in self.latches:
+            result[f"{latch.name}$next"] = value_of(latch.next_lit)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"AIG({self.name!r}: {len(self.inputs)} inputs, "
+            f"{len(self.latches)} latches, {self.num_ands} ands, "
+            f"{len(self.outputs)} outputs)"
+        )

@@ -1,0 +1,166 @@
+"""Time-frame expansion: Tseitin encoding of a circuit into CNF.
+
+Frame ``t`` holds one CNF variable per circuit signal, named
+``"<signal>@<t>"``.  Register semantics connect frames: the register output
+variable at frame ``t + 1`` is equivalent to its data input variable at
+frame ``t``.  With a single frame and no initial-state constraint the
+encoding is the plain combinational view in which register outputs act as
+free pseudo-inputs -- exactly what combinational ATPG needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.netlist.cell import GateOp
+from repro.netlist.circuit import Circuit
+from repro.sat.cnf import CNF
+
+
+class Unroller:
+    """CNF encoding of ``cycles`` time frames of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The gate-level design.
+    cycles:
+        Number of time frames (>= 1).
+    use_initial_state:
+        When true (default), registers are constrained to their declared
+        initial values at frame 0; registers with a free initial value
+        (``init=None``) stay unconstrained.  Pass ``False`` to leave the
+        whole initial state free (combinational ATPG), or pass an explicit
+        state via ``initial_state`` to start elsewhere.
+    initial_state:
+        Optional explicit (partial) initial state overriding the declared
+        init values.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        cycles: int,
+        use_initial_state: bool = True,
+        initial_state: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        self.circuit = circuit
+        self.cycles = cycles
+        self.cnf = CNF()
+        self._vars: List[Dict[str, int]] = []
+        order = circuit.topo_gates()
+        for frame in range(cycles):
+            frame_vars: Dict[str, int] = {}
+            self._vars.append(frame_vars)
+            for name in circuit.inputs:
+                frame_vars[name] = self.cnf.new_var(f"{name}@{frame}")
+            for name in circuit.registers:
+                frame_vars[name] = self.cnf.new_var(f"{name}@{frame}")
+            for gate in order:
+                frame_vars[gate.output] = self.cnf.new_var(
+                    f"{gate.output}@{frame}"
+                )
+            for gate in order:
+                self._encode_gate(gate, frame_vars)
+            if frame > 0:
+                previous = self._vars[frame - 1]
+                for name, reg in circuit.registers.items():
+                    self.cnf.add_equiv(frame_vars[name], previous[reg.data])
+        if initial_state is not None:
+            for name, value in initial_state.items():
+                if not circuit.is_register_output(name):
+                    raise ValueError(f"{name!r} is not a register output")
+                self.cnf.add_unit(
+                    self.lit(name, 0) if value else -self.lit(name, 0)
+                )
+        elif use_initial_state:
+            for name, reg in circuit.registers.items():
+                if reg.init is not None:
+                    self.cnf.add_unit(
+                        self.lit(name, 0) if reg.init else -self.lit(name, 0)
+                    )
+
+    def _encode_gate(self, gate, frame_vars: Dict[str, int]) -> None:
+        out = frame_vars[gate.output]
+        ins = [frame_vars[s] for s in gate.inputs]
+        op = gate.op
+        cnf = self.cnf
+        if op is GateOp.AND:
+            cnf.add_and(out, ins)
+        elif op is GateOp.OR:
+            cnf.add_or(out, ins)
+        elif op is GateOp.NAND:
+            aux = cnf.new_var()
+            cnf.add_and(aux, ins)
+            cnf.add_equiv(out, -aux)
+        elif op is GateOp.NOR:
+            aux = cnf.new_var()
+            cnf.add_or(aux, ins)
+            cnf.add_equiv(out, -aux)
+        elif op is GateOp.NOT:
+            cnf.add_equiv(out, -ins[0])
+        elif op is GateOp.BUF:
+            cnf.add_equiv(out, ins[0])
+        elif op in (GateOp.XOR, GateOp.XNOR):
+            acc = ins[0]
+            for nxt in ins[1:]:
+                parity = cnf.new_var()
+                cnf.add_xor2(parity, acc, nxt)
+                acc = parity
+            if op is GateOp.XOR:
+                cnf.add_equiv(out, acc)
+            else:
+                cnf.add_equiv(out, -acc)
+        elif op is GateOp.MUX:
+            cnf.add_mux(out, ins[0], ins[1], ins[2])
+        elif op is GateOp.CONST0:
+            cnf.add_unit(-out)
+        elif op is GateOp.CONST1:
+            cnf.add_unit(out)
+        else:  # pragma: no cover - GateOp is closed
+            raise ValueError(f"unknown gate op {op!r}")
+
+    # ------------------------------------------------------------------
+
+    def lit(self, signal: str, cycle: int, value: int = 1) -> int:
+        """CNF literal asserting ``signal`` has ``value`` at ``cycle``."""
+        try:
+            var = self._vars[cycle][signal]
+        except (IndexError, KeyError):
+            raise KeyError(f"no encoding for {signal!r} at cycle {cycle}") from None
+        return var if value else -var
+
+    def has_signal(self, signal: str, cycle: int = 0) -> bool:
+        return 0 <= cycle < self.cycles and signal in self._vars[cycle]
+
+    def cube_lits(self, cube: Mapping[str, int], cycle: int) -> List[int]:
+        """Literals asserting a cube at a given cycle; signals without an
+        encoding (not in this circuit) raise ``KeyError``."""
+        return [self.lit(name, cycle, value) for name, value in cube.items()]
+
+    def decode_frame(
+        self, model: Mapping[int, bool], cycle: int
+    ) -> Dict[str, int]:
+        """Extract the valuation of every signal at a cycle from a model."""
+        return {
+            name: int(model.get(var, False))
+            for name, var in self._vars[cycle].items()
+        }
+
+    def decode_inputs(
+        self, model: Mapping[int, bool], cycle: int
+    ) -> Dict[str, int]:
+        return {
+            name: int(model.get(self._vars[cycle][name], False))
+            for name in self.circuit.inputs
+        }
+
+    def decode_state(
+        self, model: Mapping[int, bool], cycle: int
+    ) -> Dict[str, int]:
+        return {
+            name: int(model.get(self._vars[cycle][name], False))
+            for name in self.circuit.registers
+        }

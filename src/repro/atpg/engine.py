@@ -1,0 +1,225 @@
+"""Combinational and sequential ATPG engines.
+
+Both engines answer the paper's three-way query (trace found / cubes
+unsatisfiable / resources exceeded) by encoding the time-frame-expanded
+circuit into CNF and running the budgeted CDCL solver.  Sequential results
+are cross-checked against the levelized simulator before being returned,
+so an encoder bug can never masquerade as a verification result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.atpg.encode import Unroller
+from repro.trace import Trace
+from repro.netlist.circuit import Circuit
+from repro.sat.solver import SatStatus, Solver
+from repro.sim.simulator import Simulator
+
+
+class AtpgOutcome(enum.Enum):
+    """The paper's three possible ATPG answers (Section 2)."""
+
+    TRACE_FOUND = "trace_found"
+    UNSATISFIABLE = "unsatisfiable"
+    ABORTED = "aborted"
+
+
+@dataclass
+class AtpgBudget:
+    """Resource limits; ``None`` means unlimited.
+
+    The propagation cap is the solver's best wall-clock proxy: it bounds
+    searches that wander without conflicting (huge satisfiable-looking
+    unrollings), which a pure conflict budget never would."""
+
+    max_conflicts: Optional[int] = 200_000
+    max_decisions: Optional[int] = None
+    max_propagations: Optional[int] = 50_000_000
+
+
+@dataclass
+class AtpgResult:
+    outcome: AtpgOutcome
+    trace: Optional[Trace] = None
+    assignment: Optional[Dict[str, int]] = None
+    conflicts: int = 0
+    decisions: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.outcome is AtpgOutcome.TRACE_FOUND
+
+
+CubeMap = Mapping[int, Mapping[str, int]]
+
+
+def _normalize_cubes(
+    cubes: Union[CubeMap, Sequence[Mapping[str, int]], None],
+    cycles: int,
+) -> Dict[int, Dict[str, int]]:
+    if cubes is None:
+        return {}
+    if isinstance(cubes, Mapping):
+        normalized = {int(c): dict(cube) for c, cube in cubes.items()}
+    else:
+        normalized = {c: dict(cube) for c, cube in enumerate(cubes)}
+    for cycle in normalized:
+        if not 0 <= cycle < cycles:
+            raise ValueError(
+                f"cube at cycle {cycle} outside unrolling of {cycles} cycles"
+            )
+    return normalized
+
+
+def sequential_atpg(
+    circuit: Circuit,
+    cycles: int,
+    cubes: Union[CubeMap, Sequence[Mapping[str, int]], None] = None,
+    *,
+    use_initial_state: bool = True,
+    initial_state: Optional[Mapping[str, int]] = None,
+    budget: Optional[AtpgBudget] = None,
+    skip_missing: bool = False,
+    verify: bool = True,
+) -> AtpgResult:
+    """Search for a ``cycles``-cycle trace satisfying per-cycle cubes.
+
+    ``cubes`` maps cycle index (0-based) to a cube over any signals of the
+    circuit (state, input or internal).  With ``skip_missing`` enabled,
+    cube entries naming signals absent from the circuit are ignored --
+    used when replaying an abstract-model trace on a differently-sized
+    subcircuit.
+    """
+    unroller = Unroller(
+        circuit,
+        cycles,
+        use_initial_state=use_initial_state,
+        initial_state=initial_state,
+    )
+    cube_map = _normalize_cubes(cubes, cycles)
+    for cycle, cube in cube_map.items():
+        for name, value in cube.items():
+            if not unroller.has_signal(name, cycle):
+                if skip_missing:
+                    continue
+                raise KeyError(
+                    f"cube signal {name!r} not in circuit "
+                    f"{circuit.name!r}"
+                )
+            unroller.cnf.add_unit(unroller.lit(name, cycle, value))
+    solver = Solver(unroller.cnf)
+    budget = budget or AtpgBudget()
+    result = solver.solve(
+        max_conflicts=budget.max_conflicts,
+        max_decisions=budget.max_decisions,
+        max_propagations=budget.max_propagations,
+    )
+    if result.status is SatStatus.UNSAT:
+        return AtpgResult(
+            AtpgOutcome.UNSATISFIABLE,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+        )
+    if result.status is SatStatus.UNKNOWN:
+        return AtpgResult(
+            AtpgOutcome.ABORTED,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+        )
+    trace = Trace(circuit_name=circuit.name)
+    for cycle in range(cycles):
+        trace.append_cycle(
+            unroller.decode_state(result.model, cycle),
+            unroller.decode_inputs(result.model, cycle),
+        )
+    if verify:
+        _check_trace(circuit, trace, cube_map, skip_missing)
+    return AtpgResult(
+        AtpgOutcome.TRACE_FOUND,
+        trace=trace,
+        conflicts=result.conflicts,
+        decisions=result.decisions,
+    )
+
+
+def combinational_atpg(
+    circuit: Circuit,
+    target: Mapping[str, int],
+    constraints: Iterable[Mapping[str, int]] = (),
+    *,
+    budget: Optional[AtpgBudget] = None,
+) -> AtpgResult:
+    """One-time-frame ATPG with a free state: justify ``target`` plus all
+    ``constraints`` cubes over a single combinational frame.
+
+    Register outputs act as pseudo primary inputs (no initial-state
+    constraint, no transitions).  On success the full frame valuation is
+    returned in ``assignment`` so callers can read off any signal -- the
+    hybrid engine uses this to extend a min-cut cube to a no-cut cube
+    (Section 2.2).
+    """
+    unroller = Unroller(circuit, 1, use_initial_state=False)
+    for cube in list(constraints) + [dict(target)]:
+        for name, value in cube.items():
+            unroller.cnf.add_unit(unroller.lit(name, 0, value))
+    solver = Solver(unroller.cnf)
+    budget = budget or AtpgBudget()
+    result = solver.solve(
+        max_conflicts=budget.max_conflicts,
+        max_decisions=budget.max_decisions,
+        max_propagations=budget.max_propagations,
+    )
+    if result.status is SatStatus.UNSAT:
+        return AtpgResult(
+            AtpgOutcome.UNSATISFIABLE,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+        )
+    if result.status is SatStatus.UNKNOWN:
+        return AtpgResult(
+            AtpgOutcome.ABORTED,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+        )
+    return AtpgResult(
+        AtpgOutcome.TRACE_FOUND,
+        assignment=unroller.decode_frame(result.model, 0),
+        conflicts=result.conflicts,
+        decisions=result.decisions,
+    )
+
+
+def _check_trace(
+    circuit: Circuit,
+    trace: Trace,
+    cube_map: Dict[int, Dict[str, int]],
+    skip_missing: bool,
+) -> None:
+    """Simulate the extracted trace and assert every cube holds.
+
+    This is an internal consistency check between the CNF encoding and the
+    simulator; a failure indicates a bug, not an analysis result.
+    """
+    sim = Simulator(circuit)
+    state = dict(trace.states[0])
+    for cycle in range(trace.length):
+        values, next_state = sim.step(state, trace.inputs[cycle])
+        for name, expected in trace.states[cycle].items():
+            if values[name] != expected:
+                raise AssertionError(
+                    f"trace/simulation mismatch for state {name!r} at cycle "
+                    f"{cycle}: trace {expected}, simulated {values[name]}"
+                )
+        for name, expected in cube_map.get(cycle, {}).items():
+            if skip_missing and name not in values:
+                continue
+            if values[name] != expected:
+                raise AssertionError(
+                    f"cube/simulation mismatch for {name!r} at cycle "
+                    f"{cycle}: cube {expected}, simulated {values[name]}"
+                )
+        state = next_state

@@ -1,0 +1,357 @@
+"""Dynamic variable reordering (mixin): adjacent swaps, group sifting.
+
+The classic Rudell sifting algorithm, adapted in two ways:
+
+- **In-place swaps with stable ids.**  An adjacent level swap relabels
+  independent nodes and rebuilds dependent nodes *in place*, so node ids --
+  and therefore every :class:`~repro.bdd.function.Function` handle and the
+  canonicity invariant (equal functions <=> equal ids) -- survive
+  reordering.  (A standard argument shows an adjacent swap can never make
+  two previously distinct nodes identical, so no merging is required.)
+
+- **Variable groups.**  The symbolic model checker keeps each next-state
+  variable glued to its current-state partner, so image renaming stays a
+  monotone level remap (the CUDD "MTR group" idea).  Sifting therefore
+  moves whole groups; singleton groups recover plain sifting.
+
+Reference counts are materialized only while a reordering is in progress:
+:meth:`_begin_reorder` garbage-collects and counts parent edges,
+the swaps maintain the counts and free nodes that die, and
+:meth:`_end_reorder` drops the counts again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+DEAD_LEVEL = -1
+
+
+class ReorderError(Exception):
+    """Raised for invalid grouping or ordering requests."""
+
+
+class ReorderMixin:
+    """Reordering operations for the BDD manager."""
+
+    # ------------------------------------------------------------------
+    # Groups
+    # ------------------------------------------------------------------
+
+    def group(self, names: Iterable[str]) -> None:
+        """Fuse the groups containing ``names`` into one sifting block.
+
+        The union of the affected groups must currently occupy contiguous
+        levels.
+        """
+        vars_ = {self._name2var[name] for name in names}
+        member_groups = []
+        for grp in self._groups:
+            if vars_ & set(grp):
+                member_groups.append(grp)
+        if len(member_groups) <= 1:
+            return
+        indexes = [self._groups.index(g) for g in member_groups]
+        indexes.sort()
+        if indexes != list(range(indexes[0], indexes[-1] + 1)):
+            raise ReorderError(
+                "groups to fuse are not contiguous in the current order"
+            )
+        fused: List[int] = []
+        for i in range(indexes[0], indexes[-1] + 1):
+            fused.extend(self._groups[i])
+        self._groups[indexes[0]:indexes[-1] + 1] = [fused]
+
+    def groups(self) -> List[List[str]]:
+        """Current sifting blocks as lists of variable names, top to
+        bottom."""
+        return [[self._var_names[v] for v in grp] for grp in self._groups]
+
+    def _group_top_level(self, gi: int) -> int:
+        level = 0
+        for grp in self._groups[:gi]:
+            level += len(grp)
+        return level
+
+    # ------------------------------------------------------------------
+    # Reorder session bookkeeping
+    # ------------------------------------------------------------------
+
+    def _begin_reorder(self) -> None:
+        if self._refs is not None:
+            raise ReorderError("reordering already in progress")
+        self.collect_garbage()
+        refs = [0] * len(self._level)
+        refs[0] = refs[1] = 1 << 60  # terminals are immortal
+        for table in self._unique:
+            for low, high in table.keys():
+                refs[low] += 1
+                refs[high] += 1
+        for root in self.live_roots():
+            refs[root] += 1
+        self._refs = refs
+
+    def _end_reorder(self) -> None:
+        self._refs = None
+        self._cache.clear()
+
+    def _total_table_size(self) -> int:
+        return sum(len(table) for table in self._unique)
+
+    # ------------------------------------------------------------------
+    # The adjacent level swap
+    # ------------------------------------------------------------------
+
+    def _free_node(self, node: int) -> None:
+        """Free a node whose reference count dropped to zero, cascading."""
+        refs = self._refs
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            level = self._level[n]
+            low, high = self._low[n], self._high[n]
+            del self._unique[level][(low, high)]
+            self._level[n] = DEAD_LEVEL
+            for child in (low, high):
+                if child > 1:
+                    refs[child] -= 1
+                    if refs[child] == 0:
+                        stack.append(child)
+
+    def _swap_adjacent(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1``.
+
+        Requires an active reorder session (reference counts live).
+        """
+        refs = self._refs
+        if refs is None:
+            raise ReorderError("swap outside a reorder session")
+        lower_level = level + 1
+        upper = self._unique[level]
+        lower = self._unique[lower_level]
+        new_upper: Dict[Tuple[int, int], int] = {}
+        new_lower: Dict[Tuple[int, int], int] = {}
+
+        def sift_mk(a: int, b: int) -> int:
+            """Hash-cons a node for the variable moving to ``lower_level``."""
+            if a == b:
+                return a
+            key = (a, b)
+            node = new_lower.get(key)
+            if node is not None:
+                return node
+            pending = upper.get(key)
+            if pending is not None and self._level[pending] == level:
+                # An unprocessed independent node with this very shape:
+                # relabel it now instead of duplicating it.
+                self._level[pending] = lower_level
+                new_lower[key] = pending
+                return pending
+            node = len(self._level)
+            self._level.append(lower_level)
+            self._low.append(a)
+            self._high.append(b)
+            refs.append(0)
+            refs[a] += 1
+            refs[b] += 1
+            new_lower[key] = node
+            return node
+
+        for (old_low, old_high), node in list(upper.items()):
+            if self._level[node] != level:
+                continue  # stolen by sift_mk already
+            low_dep = self._level[old_low] == lower_level
+            high_dep = self._level[old_high] == lower_level
+            if not low_dep and not high_dep:
+                # Independent of the lower variable: just relabel.
+                self._level[node] = lower_level
+                new_lower[(old_low, old_high)] = node
+                continue
+            if low_dep:
+                f00, f01 = self._low[old_low], self._high[old_low]
+            else:
+                f00 = f01 = old_low
+            if high_dep:
+                f10, f11 = self._low[old_high], self._high[old_high]
+            else:
+                f10 = f11 = old_high
+            g0 = sift_mk(f00, f10)
+            g1 = sift_mk(f01, f11)
+            refs[g0] += 1
+            refs[g1] += 1
+            self._low[node] = g0
+            self._high[node] = g1
+            new_upper[(g0, g1)] = node
+            for child in (old_low, old_high):
+                if child > 1:
+                    refs[child] -= 1
+                    if refs[child] == 0 and self._level[child] != lower_level:
+                        # Deeper children can be freed eagerly; lower-level
+                        # children must wait for the sweep below because
+                        # unprocessed upper nodes still read their shape.
+                        self._free_node(child)
+
+        # Surviving nodes of the lower variable move up; dead ones free.
+        for (old_low, old_high), node in list(lower.items()):
+            if self._level[node] != lower_level:
+                continue  # already relabeled (was an upper-var node)
+            if refs[node] == 0:
+                self._level[node] = DEAD_LEVEL
+                for child in (old_low, old_high):
+                    if child > 1:
+                        refs[child] -= 1
+                        if refs[child] == 0:
+                            self._free_node(child)
+                continue
+            self._level[node] = level
+            new_upper[(old_low, old_high)] = node
+
+        self._unique[level] = new_upper
+        self._unique[lower_level] = new_lower
+
+        var_u = self._level2var[level]
+        var_v = self._level2var[lower_level]
+        self._level2var[level] = var_v
+        self._level2var[lower_level] = var_u
+        self._var2level[var_u] = lower_level
+        self._var2level[var_v] = level
+
+    # ------------------------------------------------------------------
+    # Group moves
+    # ------------------------------------------------------------------
+
+    def _swap_group_down(self, gi: int) -> None:
+        """Exchange groups ``gi`` and ``gi + 1`` with adjacent var swaps."""
+        top = self._group_top_level(gi)
+        p = len(self._groups[gi])
+        q = len(self._groups[gi + 1])
+        for t in range(q):
+            # The next lower-group variable sits at level top + p + t and
+            # bubbles up to level top + t.
+            current = top + p + t
+            while current > top + t:
+                self._swap_adjacent(current - 1)
+                current -= 1
+        self._groups[gi], self._groups[gi + 1] = (
+            self._groups[gi + 1],
+            self._groups[gi],
+        )
+
+    # ------------------------------------------------------------------
+    # Sifting
+    # ------------------------------------------------------------------
+
+    def sift(
+        self,
+        max_growth: float = 1.2,
+        max_groups: Optional[int] = None,
+    ) -> int:
+        """Rudell group sifting; returns the node count afterwards.
+
+        Each group is moved through every position; the best position seen
+        is kept.  A scan direction is abandoned early when the table grows
+        beyond ``max_growth`` times its size at the start of that group's
+        sift.  ``max_groups`` bounds the work on managers with thousands
+        of variables: only the largest that-many groups are sifted.
+        """
+        self._begin_reorder()
+        try:
+            def group_size(grp: List[int]) -> int:
+                return sum(len(self._unique[self._var2level[v]]) for v in grp)
+
+            candidates = sorted(self._groups, key=group_size, reverse=True)
+            if max_groups is not None:
+                candidates = candidates[:max_groups]
+            for grp in candidates:
+                gi = self._groups.index(grp)
+                total = self._total_table_size()
+                start_total = total
+                best_total, best_gi = total, gi
+                # Scan toward the bottom.
+                while gi < len(self._groups) - 1:
+                    self._swap_group_down(gi)
+                    gi += 1
+                    total = self._total_table_size()
+                    if total < best_total:
+                        best_total, best_gi = total, gi
+                    if total > start_total * max_growth:
+                        break
+                # Scan toward the top.
+                while gi > 0:
+                    self._swap_group_down(gi - 1)
+                    gi -= 1
+                    total = self._total_table_size()
+                    if total < best_total:
+                        best_total, best_gi = total, gi
+                    if total > start_total * max_growth and gi > best_gi:
+                        break
+                # Return to the best position seen.
+                while gi < best_gi:
+                    self._swap_group_down(gi)
+                    gi += 1
+                while gi > best_gi:
+                    self._swap_group_down(gi - 1)
+                    gi -= 1
+        finally:
+            self._end_reorder()
+        self._last_reorder_size = max(256, self.total_nodes())
+        return self.total_nodes()
+
+    # Auto-reorder guards: full sifting over thousands of variables is
+    # far too slow in Python, so managers past `auto_reorder_max_vars`
+    # skip it and large managers only sift their heaviest groups.
+    auto_reorder_max_vars = 600
+    auto_reorder_max_groups = 64
+
+    def maybe_sift(self, growth_trigger: float = 4.0) -> bool:
+        """Sift if enabled and the table has grown enough since the last
+        reorder.  Called by long-running clients (e.g. between image steps)
+        since reordering cannot safely interrupt a recursive operation."""
+        if not self.auto_reorder:
+            return False
+        if len(self._level2var) > self.auto_reorder_max_vars:
+            return False
+        if self.total_nodes() < self._last_reorder_size * growth_trigger:
+            return False
+        self.sift(max_groups=self.auto_reorder_max_groups)
+        return True
+
+    # ------------------------------------------------------------------
+    # Explicit orders
+    # ------------------------------------------------------------------
+
+    def set_order(self, names: List[str]) -> None:
+        """Reorder the variables to exactly ``names`` (top to bottom).
+
+        ``names`` must be a permutation of the declared variables in which
+        every sifting group stays contiguous with its internal order
+        preserved.
+        """
+        declared = set(self._name2var)
+        requested = list(names)
+        if len(requested) != len(declared) or set(requested) != declared:
+            raise ReorderError(
+                "set_order requires a permutation of the declared variables"
+            )
+        position = {name: i for i, name in enumerate(requested)}
+        target_groups: List[Tuple[int, List[int]]] = []
+        for grp in self._groups:
+            positions = [position[self._var_names[v]] for v in grp]
+            if positions != list(range(positions[0], positions[0] + len(grp))):
+                raise ReorderError(
+                    "set_order would split or permute a variable group: "
+                    f"{[self._var_names[v] for v in grp]}"
+                )
+            target_groups.append((positions[0], grp))
+        target_groups.sort(key=lambda item: item[0])
+        target_sequence = [grp for _, grp in target_groups]
+
+        self._begin_reorder()
+        try:
+            for target_index, grp in enumerate(target_sequence):
+                current = self._groups.index(grp)
+                while current > target_index:
+                    self._swap_group_down(current - 1)
+                    current -= 1
+        finally:
+            self._end_reorder()

@@ -1,0 +1,295 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``      parse a netlist file and print design statistics
+``verify``     run RFN (or the plain COI model checker) on a property
+``coverage``   unreachable-coverage-state analysis (RFN or BFS method)
+``simulate``   random simulation with a rendered waveform
+
+Netlists use the text format of :mod:`repro.netlist.textio` (see
+``examples/netlist_files.py``).  Exit codes for ``verify``: 0 = property
+holds, 1 = falsified, 2 = resource limit reached, 3 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.aig import aig_to_circuit, circuit_to_aig, parse_aiger, to_aiger
+from repro.aig.convert import strash_circuit
+from repro.core import RFN, RfnConfig, RfnStatus, UnreachabilityProperty
+from repro.core.coverage import (
+    CoverageAnalyzer,
+    CoverageConfig,
+    bfs_coverage_analysis,
+)
+from repro.mc import model_check_coi
+from repro.mc.bmc import BmcOutcome, bmc
+from repro.mc.reach import ReachLimits
+from repro.netlist import circuit_from_text, circuit_to_text, parse_verilog
+from repro.netlist.ops import coi_stats
+from repro.sim import RandomSimulator
+from repro.trace import Trace
+from repro.vcd import trace_to_vcd
+
+
+def _load(path: str):
+    """Read a design file; the extension picks the frontend
+    (.v -> Verilog subset, .aag -> AIGER, anything else -> netlist text)."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".v"):
+        return parse_verilog(text)
+    if path.endswith(".aag"):
+        return aig_to_circuit(parse_aiger(text))
+    return circuit_from_text(text)
+
+
+def _parse_target(text: str) -> Dict[str, int]:
+    cube: Dict[str, int] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"bad target literal {item!r}; use sig=0|1")
+        name, _, value = item.partition("=")
+        if value not in ("0", "1"):
+            raise ValueError(f"bad target value in {item!r}")
+        cube[name.strip()] = int(value)
+    if not cube:
+        raise ValueError("empty target cube")
+    return cube
+
+
+# ----------------------------------------------------------------------
+
+
+def cmd_stats(args) -> int:
+    circuit = _load(args.netlist)
+    stats = circuit.stats()
+    print(f"circuit {circuit.name}:")
+    print(f"  inputs:    {stats['inputs']}")
+    print(f"  gates:     {stats['gates']}")
+    print(f"  registers: {stats['registers']}")
+    if circuit.outputs:
+        print(f"  outputs:   {', '.join(circuit.outputs)}")
+        regs, gates = coi_stats(circuit, circuit.outputs)
+        print(f"  output COI: {regs} registers, {gates} gates")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    circuit = _load(args.netlist)
+    if args.watchdog:
+        target = {args.watchdog: 1}
+    else:
+        target = _parse_target(args.target)
+    prop = UnreachabilityProperty(args.name, target)
+    log = print if args.verbose else None
+
+    if args.engine == "bmc":
+        result = bmc(
+            circuit,
+            prop,
+            max_depth=args.max_depth,
+            unique_states=args.unique_states,
+        )
+        extra = (
+            f" (k-induction at depth {result.induction_depth})"
+            if result.induction_depth is not None
+            else ""
+        )
+        print(f"BMC: {result.outcome.value} at depth {result.depth}"
+              f"{extra} in {result.seconds:.2f}s")
+        trace = result.trace
+        status_code = {"true": 0, "false": 1, "unknown": 2}[
+            result.outcome.value
+        ]
+    elif args.engine == "smc":
+        result = model_check_coi(
+            circuit,
+            prop,
+            limits=ReachLimits(
+                max_seconds=args.max_seconds, max_nodes=args.max_nodes
+            ),
+        )
+        print(f"plain SMC+COI: {result.outcome.value} "
+              f"({result.coi_registers} COI registers, "
+              f"{result.seconds:.2f}s)")
+        trace = result.trace
+        status_code = {"true": 0, "false": 1, "resource_out": 2}[
+            result.outcome.value
+        ]
+    else:
+        config = RfnConfig(max_seconds=args.max_seconds, log=log)
+        rfn_result = RFN(circuit, prop, config).run()
+        print(f"RFN: {rfn_result.status.value} in "
+              f"{rfn_result.seconds:.2f}s, "
+              f"{len(rfn_result.iterations)} iterations, abstract model "
+              f"{rfn_result.abstract_model_registers}/"
+              f"{circuit.num_registers} registers")
+        trace = rfn_result.trace
+        status_code = {
+            RfnStatus.VERIFIED: 0,
+            RfnStatus.FALSIFIED: 1,
+            RfnStatus.RESOURCE_OUT: 2,
+        }[rfn_result.status]
+
+    if trace is not None:
+        if args.vcd:
+            trace_to_vcd(trace, args.vcd)
+            print(f"error trace written to {args.vcd}")
+        else:
+            print(trace.format())
+    return status_code
+
+
+def cmd_coverage(args) -> int:
+    circuit = _load(args.netlist)
+    signals = [s.strip() for s in args.signals.split(",") if s.strip()]
+    if not signals:
+        print("no coverage signals given", file=sys.stderr)
+        return 3
+    total = 1 << len(signals)
+    if args.method == "bfs":
+        result = bfs_coverage_analysis(circuit, signals, k=args.bfs_k)
+        print(f"BFS (k={args.bfs_k}): {result.num_unreachable}/{total} "
+              f"coverage states unreachable "
+              f"({result.model_registers} model registers, "
+              f"{result.seconds:.2f}s)")
+    else:
+        config = CoverageConfig(
+            max_seconds=args.max_seconds,
+            log=print if args.verbose else None,
+        )
+        result = CoverageAnalyzer(circuit, signals, config).run()
+        print(f"RFN: {result.num_unreachable}/{total} unreachable, "
+              f"{result.num_reachable_marked} marked reachable, "
+              f"{result.num_undetermined} undetermined "
+              f"({result.iterations} iterations, "
+              f"{result.model_registers} model registers, "
+              f"{result.seconds:.2f}s)")
+    if len(signals) <= args.list_limit_bits:
+        states = sorted(result.unreachable_states())
+        rendered = ["".join(str(b) for b in s) for s in states]
+        print("unreachable states:", ", ".join(rendered) or "(none)")
+    return 0
+
+
+def cmd_convert(args) -> int:
+    circuit = _load(args.input)
+    if args.strash:
+        before = circuit.num_gates
+        circuit = strash_circuit(circuit)
+        print(f"strash: {before} -> {circuit.num_gates} gates")
+    if args.output.endswith(".aag"):
+        text = to_aiger(circuit_to_aig(circuit))
+    else:
+        text = circuit_to_text(circuit)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} "
+          f"({circuit.num_gates} gates, {circuit.num_registers} registers)")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    circuit = _load(args.netlist)
+    rs = RandomSimulator(circuit, seed=args.seed)
+    frames = rs.random_run(args.cycles)
+    signals = args.signals.split(",") if args.signals else (
+        circuit.outputs or list(circuit.registers)[:8]
+    )
+    trace = Trace(
+        states=[
+            {s: f[s] for s in signals if s in f} for f in frames
+        ],
+        inputs=[{} for _ in frames],
+        circuit_name=circuit.name,
+    )
+    print(trace.format(signals=[s for s in signals if s in frames[0]]))
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RFN: formal property verification by abstraction "
+        "refinement (DAC 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print netlist statistics")
+    p_stats.add_argument("netlist")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_verify = sub.add_parser("verify", help="verify an unreachability property")
+    p_verify.add_argument("netlist")
+    group = p_verify.add_mutually_exclusive_group(required=True)
+    group.add_argument("--watchdog", help="watchdog register (target: =1)")
+    group.add_argument("--target", help="target cube, e.g. 'bad=1,mode=0'")
+    p_verify.add_argument("--name", default="property")
+    p_verify.add_argument(
+        "--engine", choices=("rfn", "smc", "bmc"), default="rfn"
+    )
+    p_verify.add_argument("--max-seconds", type=float, default=None)
+    p_verify.add_argument("--max-nodes", type=int, default=2_000_000)
+    p_verify.add_argument("--max-depth", type=int, default=32,
+                          help="BMC unrolling bound")
+    p_verify.add_argument("--unique-states", action="store_true",
+                          help="BMC: simple-path induction constraints")
+    p_verify.add_argument("--vcd", help="write the error trace as VCD")
+    p_verify.add_argument("--verbose", action="store_true")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_convert = sub.add_parser(
+        "convert",
+        help="convert between netlist text, Verilog subset and AIGER",
+    )
+    p_convert.add_argument("input")
+    p_convert.add_argument("output", help="*.net or *.aag")
+    p_convert.add_argument(
+        "--strash", action="store_true",
+        help="structurally optimize through an AIG round trip",
+    )
+    p_convert.set_defaults(func=cmd_convert)
+
+    p_cov = sub.add_parser("coverage", help="unreachable-coverage-state analysis")
+    p_cov.add_argument("netlist")
+    p_cov.add_argument("--signals", required=True,
+                       help="comma-separated register outputs")
+    p_cov.add_argument("--method", choices=("rfn", "bfs"), default="rfn")
+    p_cov.add_argument("--bfs-k", type=int, default=60)
+    p_cov.add_argument("--max-seconds", type=float, default=None)
+    p_cov.add_argument("--list-limit-bits", type=int, default=8)
+    p_cov.add_argument("--verbose", action="store_true")
+    p_cov.set_defaults(func=cmd_coverage)
+
+    p_sim = sub.add_parser("simulate", help="random simulation waveform")
+    p_sim.add_argument("netlist")
+    p_sim.add_argument("--cycles", type=int, default=16)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--signals", help="comma-separated signals to show")
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

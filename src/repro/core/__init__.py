@@ -1,0 +1,30 @@
+"""The RFN core: properties, traces, abstraction, engines, the CEGAR loop.
+
+Modules
+-------
+``property``   unreachability properties and safety watchdog construction
+``trace``      cubes and (error) traces shared by every engine
+``abstraction`` abstract-model construction and refinement bookkeeping
+``hybrid``     the BDD-ATPG hybrid engine for abstract error traces (Step 2)
+``guided``     abstract-trace-guided sequential ATPG on the original (Step 3)
+``refine``     3-valued-simulation candidates + greedy minimization (Step 4)
+``rfn``        the top-level RFN loop (Steps 1-4 iterated)
+``coverage``   unreachable-coverage-state analysis (Section 3)
+``bfs_abstraction`` the BFS abstraction baseline of [8]
+"""
+
+from repro.core.abstraction import Abstraction
+from repro.core.property import UnreachabilityProperty, watchdog_property
+from repro.core.rfn import RFN, RfnConfig, RfnResult, RfnStatus
+from repro.trace import Trace
+
+__all__ = [
+    "Abstraction",
+    "RFN",
+    "RfnConfig",
+    "RfnResult",
+    "RfnStatus",
+    "Trace",
+    "UnreachabilityProperty",
+    "watchdog_property",
+]

@@ -1,0 +1,107 @@
+"""Abstract-model construction and refinement bookkeeping (Steps 1 & 4).
+
+RFN's abstract models are subcircuits of the original design, identified
+by the set of *kept registers*: the model contains those registers, the
+transitive fanins (up to register outputs) of their data inputs and of the
+property signals, and exposes the outputs of all dropped registers as
+pseudo primary inputs (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set
+
+from repro.core.property import UnreachabilityProperty
+from repro.netlist.circuit import Circuit
+from repro.netlist.ops import coi_registers, extract_subcircuit
+
+
+@dataclass
+class Abstraction:
+    """The current abstraction: original design + kept register set."""
+
+    original: Circuit
+    prop: UnreachabilityProperty
+    kept_registers: Set[str] = field(default_factory=set)
+    model: Circuit = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.prop.validate_against(self.original)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.model = extract_subcircuit(
+            self.original,
+            self.kept_registers,
+            self.prop.signals(),
+            name=f"{self.original.name}.abs{len(self.kept_registers)}",
+        )
+
+    @classmethod
+    def initial(
+        cls, original: Circuit, prop: UnreachabilityProperty
+    ) -> "Abstraction":
+        """Step 1, first iteration: the subcircuit containing the transitive
+        fanins of the signals mentioned in the property.  Since targets are
+        register outputs (watchdogs), those registers seed the kept set."""
+        kept = {
+            sig
+            for sig in prop.signals()
+            if original.is_register_output(sig)
+        }
+        return cls(original=original, prop=prop, kept_registers=kept)
+
+    def refine(self, new_registers: Iterable[str]) -> int:
+        """Add registers (plus their transitive fanins, implicitly) to the
+        abstract model; returns how many were actually new."""
+        added = 0
+        for reg in new_registers:
+            if not self.original.is_register_output(reg):
+                raise ValueError(f"{reg!r} is not a register output")
+            if reg not in self.kept_registers:
+                self.kept_registers.add(reg)
+                added += 1
+        if added:
+            self._rebuild()
+        return added
+
+    def with_registers(self, registers: Iterable[str]) -> Circuit:
+        """A candidate refined model (without mutating this abstraction)."""
+        return extract_subcircuit(
+            self.original,
+            self.kept_registers | set(registers),
+            self.prop.signals(),
+            name=f"{self.original.name}.cand",
+        )
+
+    # ------------------------------------------------------------------
+
+    def pseudo_input_registers(self) -> List[str]:
+        """Model primary inputs that are register outputs of the original
+        design (Figure 1: "primary inputs of N but register outputs of M")."""
+        return [
+            sig
+            for sig in self.model.inputs
+            if self.original.is_register_output(sig)
+        ]
+
+    def true_primary_inputs(self) -> List[str]:
+        return [
+            sig for sig in self.model.inputs if self.original.is_input(sig)
+        ]
+
+    def remaining_coi_registers(self) -> Set[str]:
+        """COI registers not yet in the abstract model -- the refinement
+        candidate universe."""
+        return coi_registers(
+            self.original, self.prop.signals()
+        ) - self.kept_registers
+
+    def stats(self) -> dict:
+        return {
+            "kept_registers": len(self.kept_registers),
+            "model_gates": self.model.num_gates,
+            "model_inputs": self.model.num_inputs,
+            "pseudo_inputs": len(self.pseudo_input_registers()),
+        }

@@ -1,0 +1,203 @@
+"""Two-phase refinement: crucial-register identification (Step 4).
+
+Phase 1 -- *3-valued simulation*: replay the abstract error trace
+step-by-step on the original design with every unassigned register and
+input at X.  A register whose simulated value conflicts with the trace's
+assignment (X conflicts with nothing) is a crucial-register candidate:
+adding its fanin cone to the abstract model would force the trace's value
+to disagree, invalidating the trace.  When the trace is used for the next
+step, conflicting values are overridden with the trace's values
+(Section 2.4).  If no conflict appears (rare), the registers the trace
+assigns most frequently become the candidates.
+
+Phase 2 -- *greedy sequential-ATPG minimization*: add candidates one at a
+time to the abstract model until sequential ATPG reports the trace
+unsatisfiable on the refined model, discard the untouched rest, then try
+to remove each earlier addition, keeping it out only if the trace stays
+unsatisfiable.  If ATPG ever aborts on its budget, fail safe by keeping
+all candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.atpg.engine import AtpgBudget, AtpgOutcome, sequential_atpg
+from repro.core.abstraction import Abstraction
+from repro.trace import Trace, cube_conflicts
+from repro.netlist.circuit import Circuit
+from repro.sim.logic3 import X
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class RefinementStats:
+    candidates: int = 0
+    selected: int = 0
+    atpg_calls: int = 0
+    conflicts_found: bool = True
+    minimized: bool = False
+
+
+@dataclass
+class RefinementResult:
+    registers: List[str]
+    stats: RefinementStats = field(default_factory=RefinementStats)
+
+
+def crucial_register_candidates(
+    abstraction: Abstraction,
+    trace: Trace,
+    fallback_count: int = 8,
+) -> RefinementResult:
+    """Phase 1: 3-valued simulation of the abstract error trace on the
+    original design; conflicting registers outside the abstract model are
+    the candidates, ordered by conflict count (then first conflict)."""
+    original = abstraction.original
+    model = abstraction.model
+    sim = Simulator(original)
+
+    conflict_count: Dict[str, int] = {}
+    first_conflict: Dict[str, int] = {}
+
+    state: Dict[str, int] = {name: X for name in original.registers}
+    state.update(
+        {
+            name: value
+            for name, value in trace.cube_at(0).items()
+            if original.is_register_output(name)
+        }
+    )
+    for cycle in range(trace.length):
+        cube = trace.cube_at(cycle)
+        register_cube = {
+            name: value
+            for name, value in cube.items()
+            if original.is_register_output(name)
+        }
+        for name in cube_conflicts(register_cube, state):
+            conflict_count[name] = conflict_count.get(name, 0) + 1
+            first_conflict.setdefault(name, cycle)
+        # Use the trace's values from here on (override conflicts and
+        # fill in unknowns) and drive the primary inputs from the trace.
+        drive = dict(register_cube)
+        drive.update(
+            {
+                name: value
+                for name, value in cube.items()
+                if original.is_input(name)
+            }
+        )
+        values = sim.evaluate(state, drive)
+        state = sim.next_state(values)
+
+    in_model = set(model.registers)
+    candidates = [
+        name for name in conflict_count if name not in in_model
+    ]
+    candidates.sort(
+        key=lambda n: (-conflict_count[n], first_conflict[n], n)
+    )
+    stats = RefinementStats(candidates=len(candidates))
+    if not candidates:
+        # Rare per the paper: no conflicts.  Fall back to the registers the
+        # trace assigns most often (among pseudo-inputs of the model).
+        stats.conflicts_found = False
+        frequency = trace.assigned_signals()
+        pseudo = [
+            name
+            for name in abstraction.pseudo_input_registers()
+            if name in frequency
+        ]
+        pseudo.sort(key=lambda n: (-frequency[n], n))
+        candidates = pseudo[:fallback_count]
+        stats.candidates = len(candidates)
+    return RefinementResult(registers=candidates, stats=stats)
+
+
+def trace_satisfiable_on(
+    model: Circuit,
+    trace: Trace,
+    budget: Optional[AtpgBudget] = None,
+) -> AtpgOutcome:
+    """Is the error trace (as per-cycle constraint cubes) satisfiable on a
+    candidate abstract model?  Three-way ATPG answer."""
+    cubes = {
+        cycle: {
+            name: value
+            for name, value in trace.cube_at(cycle).items()
+            if model.is_defined(name)
+        }
+        for cycle in range(trace.length)
+    }
+    result = sequential_atpg(
+        model,
+        trace.length,
+        cubes,
+        budget=budget,
+        skip_missing=True,
+    )
+    return result.outcome
+
+
+def minimize_candidates(
+    abstraction: Abstraction,
+    trace: Trace,
+    candidates: Sequence[str],
+    budget: Optional[AtpgBudget] = None,
+) -> RefinementResult:
+    """Phase 2: the greedy add-until-unsatisfiable / try-remove loop."""
+    stats = RefinementStats(candidates=len(candidates), minimized=True)
+    added: List[str] = []
+    unsatisfiable = False
+    for register in candidates:
+        added.append(register)
+        model = abstraction.with_registers(added)
+        stats.atpg_calls += 1
+        outcome = trace_satisfiable_on(model, trace, budget)
+        if outcome is AtpgOutcome.UNSATISFIABLE:
+            unsatisfiable = True
+            break
+        if outcome is AtpgOutcome.ABORTED:
+            # Paper: without a definitive answer, keep every candidate.
+            stats.selected = len(candidates)
+            return RefinementResult(list(candidates), stats)
+    if not unsatisfiable:
+        stats.selected = len(added)
+        return RefinementResult(added, stats)
+    # Removal pass over all but the last-added register.
+    kept = list(added)
+    for register in added[:-1]:
+        tentative = [r for r in kept if r != register]
+        model = abstraction.with_registers(tentative)
+        stats.atpg_calls += 1
+        outcome = trace_satisfiable_on(model, trace, budget)
+        if outcome is AtpgOutcome.UNSATISFIABLE:
+            kept = tentative  # still invalid without it: drop for good
+    stats.selected = len(kept)
+    return RefinementResult(kept, stats)
+
+
+def refine_from_trace(
+    abstraction: Abstraction,
+    trace: Trace,
+    budget: Optional[AtpgBudget] = None,
+    minimize: bool = True,
+    fallback_count: int = 8,
+) -> RefinementResult:
+    """The full Step 4: phase-1 candidates, then phase-2 minimization."""
+    phase1 = crucial_register_candidates(
+        abstraction, trace, fallback_count=fallback_count
+    )
+    if not phase1.registers:
+        return phase1
+    if not minimize:
+        phase1.stats.selected = len(phase1.registers)
+        return phase1
+    result = minimize_candidates(
+        abstraction, trace, phase1.registers, budget=budget
+    )
+    result.stats.conflicts_found = phase1.stats.conflicts_found
+    result.stats.candidates = phase1.stats.candidates
+    return result

@@ -1,0 +1,318 @@
+"""The RFN abstraction-refinement loop (Sections 1-2).
+
+Iterates the four steps until the property is verified on an abstract
+model (then it holds on the original design, since abstract models are
+subcircuits), falsified on the original design (via the guided ATPG of
+Step 3), or a resource limit is exceeded:
+
+1. generate/refine the abstract model (subcircuit of kept registers),
+2. prove the property or find an error trace on the abstract model
+   (forward fixpoint + the BDD-ATPG hybrid engine),
+3. use the abstract error trace to guide sequential ATPG toward a
+   concrete error trace on the original design,
+4. analyze the abstract error trace (3-valued simulation + greedy
+   sequential-ATPG minimization) to pick the refinement registers.
+
+The BDD variable order found by dynamic reordering in one iteration seeds
+the next iteration's manager (Section 2.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.atpg.engine import AtpgBudget
+from repro.core.abstraction import Abstraction
+from repro.core.guided import GuidedSearchResult, guided_concrete_search
+from repro.core.hybrid import HybridEngineError, HybridTraceEngine
+from repro.core.property import UnreachabilityProperty
+from repro.core.refine import refine_from_trace
+from repro.trace import Trace
+from repro.mc.encode import SymbolicEncoding
+from repro.mc.images import ImageComputer
+from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
+from repro.netlist.circuit import Circuit
+
+
+class RfnStatus(enum.Enum):
+    VERIFIED = "verified"  # property True on the original design
+    FALSIFIED = "falsified"  # concrete error trace found
+    RESOURCE_OUT = "resource_out"
+
+
+@dataclass
+class RfnConfig:
+    """Tuning knobs for one RFN run."""
+
+    max_iterations: int = 64
+    max_seconds: Optional[float] = None
+    reach_limits: ReachLimits = field(default_factory=ReachLimits)
+    atpg_budget: AtpgBudget = field(default_factory=AtpgBudget)
+    refine_budget: AtpgBudget = field(
+        default_factory=lambda: AtpgBudget(max_conflicts=50_000)
+    )
+    enable_guided_search: bool = True
+    enable_minimization: bool = True
+    guidance: bool = True  # cycle cubes for Step 3 (ablation knob)
+    # Cap on COI gates x depth for Step 3's sequential ATPG; larger
+    # instances use only the cheap trace-replay path (see guided.py).
+    guided_max_gate_frames: Optional[int] = 2_000_000
+    auto_reorder: bool = True
+    # Seed each iteration's variable order with the order dynamic
+    # reordering found in the previous one (Section 2.2, last paragraph).
+    reuse_variable_order: bool = True
+    fallback_candidates: int = 8
+    guided_extra_depth: int = 0
+    # Section-5 future work: try the overlapping-partition approximate
+    # traversal before exact reachability once the abstract model has
+    # more registers than one block holds (None = disabled).
+    approx_block_size: Optional[int] = None
+    approx_overlap: int = 2
+    log: Optional[callable] = None  # def log(message: str)
+
+
+@dataclass
+class RfnIteration:
+    """Per-iteration record (for reporting and the benchmark tables)."""
+
+    index: int
+    model_registers: int
+    model_inputs: int
+    model_gates: int
+    reach_outcome: str = ""
+    reach_iterations: int = 0
+    bdd_nodes: int = 0  # manager allocation after Step 2
+    abstract_trace_length: Optional[int] = None
+    guided_method: str = ""
+    refinement_added: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class RfnResult:
+    status: RfnStatus
+    prop: UnreachabilityProperty
+    iterations: List[RfnIteration] = field(default_factory=list)
+    kept_registers: List[str] = field(default_factory=list)
+    abstract_model_registers: int = 0
+    trace: Optional[Trace] = None
+    abstract_trace: Optional[Trace] = None
+    seconds: float = 0.0
+    detail: str = ""
+    # On VERIFIED (via exact fixpoint): the abstract model, its reached-set
+    # BDD and the encoding that owns it -- an inductive invariant that
+    # repro.core.certify can re-check with the SAT engine.
+    abstract_model: Optional[Circuit] = None
+    invariant = None  # Optional[Function]
+    invariant_encoding = None  # Optional[SymbolicEncoding]
+
+    @property
+    def verified(self) -> bool:
+        return self.status is RfnStatus.VERIFIED
+
+    @property
+    def falsified(self) -> bool:
+        return self.status is RfnStatus.FALSIFIED
+
+
+class RFN:
+    """One property-verification run of the RFN tool."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        prop: UnreachabilityProperty,
+        config: Optional[RfnConfig] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.prop = prop
+        self.config = config or RfnConfig()
+        self.abstraction = Abstraction.initial(circuit, prop)
+        self._saved_order: Optional[List[str]] = None
+
+    def _log(self, message: str) -> None:
+        if self.config.log is not None:
+            self.config.log(message)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RfnResult:
+        config = self.config
+        start = time.monotonic()
+        iterations: List[RfnIteration] = []
+
+        def finish(
+            status: RfnStatus,
+            trace: Optional[Trace] = None,
+            abstract_trace: Optional[Trace] = None,
+            detail: str = "",
+        ) -> RfnResult:
+            return RfnResult(
+                status=status,
+                prop=self.prop,
+                iterations=iterations,
+                kept_registers=sorted(self.abstraction.kept_registers),
+                abstract_model_registers=len(self.abstraction.kept_registers),
+                trace=trace,
+                abstract_trace=abstract_trace,
+                seconds=time.monotonic() - start,
+                detail=detail,
+            )
+
+        for index in range(1, config.max_iterations + 1):
+            if config.max_seconds is not None and (
+                time.monotonic() - start > config.max_seconds
+            ):
+                return finish(RfnStatus.RESOURCE_OUT, detail="time limit")
+            iter_start = time.monotonic()
+            model = self.abstraction.model
+            record = RfnIteration(
+                index=index,
+                model_registers=model.num_registers,
+                model_inputs=model.num_inputs,
+                model_gates=model.num_gates,
+            )
+            iterations.append(record)
+            self._log(
+                f"[iter {index}] abstract model: "
+                f"{model.num_registers} regs, {model.num_inputs} inputs, "
+                f"{model.num_gates} gates"
+            )
+
+            # Step 2: prove or find an abstract error trace.
+            encoding = SymbolicEncoding(model, var_order=self._saved_order)
+            encoding.bdd.auto_reorder = config.auto_reorder
+            images = ImageComputer(encoding)
+            target = encoding.state_cube(dict(self.prop.target))
+            if (
+                config.approx_block_size is not None
+                and model.num_registers > config.approx_block_size
+            ):
+                from repro.mc.approx import ApproxOutcome, approximate_check
+
+                approx = approximate_check(
+                    encoding,
+                    target,
+                    block_size=config.approx_block_size,
+                    overlap=config.approx_overlap,
+                    limits=config.reach_limits,
+                )
+                if approx.outcome is ApproxOutcome.PROVED:
+                    record.reach_outcome = "approx_proved"
+                    record.seconds = time.monotonic() - iter_start
+                    self._log(
+                        f"[iter {index}] overlapping-partition traversal "
+                        f"proved the property ({len(approx.blocks)} blocks, "
+                        f"{approx.passes} passes)"
+                    )
+                    return finish(RfnStatus.VERIFIED)
+            reach = forward_reach(
+                images,
+                encoding.initial_states(),
+                target=target,
+                limits=config.reach_limits,
+                step_hook=lambda _i, _r: encoding.bdd.maybe_sift(),
+            )
+            record.reach_outcome = reach.outcome.value
+            record.reach_iterations = reach.iterations
+            record.bdd_nodes = encoding.bdd.total_nodes()
+            if reach.outcome is ReachOutcome.FIXPOINT:
+                record.seconds = time.monotonic() - iter_start
+                self._log(f"[iter {index}] fixpoint: property VERIFIED")
+                verdict = finish(RfnStatus.VERIFIED)
+                verdict.abstract_model = model
+                verdict.invariant = reach.reached
+                verdict.invariant_encoding = encoding
+                return verdict
+            if reach.outcome is ReachOutcome.RESOURCE_OUT:
+                record.seconds = time.monotonic() - iter_start
+                return finish(
+                    RfnStatus.RESOURCE_OUT,
+                    detail="reachability resource limit on abstract model",
+                )
+
+            try:
+                hybrid = HybridTraceEngine(
+                    model, encoding, images, atpg_budget=config.atpg_budget
+                )
+                abstract_trace = hybrid.build_trace(reach, target)
+            except HybridEngineError as error:
+                record.seconds = time.monotonic() - iter_start
+                return finish(
+                    RfnStatus.RESOURCE_OUT,
+                    detail=f"hybrid engine: {error}",
+                )
+            record.abstract_trace_length = abstract_trace.length
+            self._log(
+                f"[iter {index}] abstract error trace of length "
+                f"{abstract_trace.length} "
+                f"(min-cut {hybrid.stats.mincut_inputs} vs model "
+                f"{hybrid.stats.model_inputs} inputs)"
+            )
+            if config.reuse_variable_order:
+                self._saved_order = encoding.saved_order()
+
+            # Step 3: guided search on the original design.
+            if config.enable_guided_search:
+                guided = guided_concrete_search(
+                    self.circuit,
+                    self.prop,
+                    [abstract_trace],
+                    budget=config.atpg_budget,
+                    use_guidance=config.guidance,
+                    extra_depth=config.guided_extra_depth,
+                    max_gate_frames=config.guided_max_gate_frames,
+                )
+                record.guided_method = guided.method
+                if guided.found:
+                    record.seconds = time.monotonic() - iter_start
+                    self._log(
+                        f"[iter {index}] concrete error trace found via "
+                        f"{guided.method}: property FALSIFIED"
+                    )
+                    return finish(
+                        RfnStatus.FALSIFIED,
+                        trace=guided.trace,
+                        abstract_trace=abstract_trace,
+                    )
+
+            # Step 4: refine.
+            refinement = refine_from_trace(
+                self.abstraction,
+                abstract_trace,
+                budget=config.refine_budget,
+                minimize=config.enable_minimization,
+                fallback_count=config.fallback_candidates,
+            )
+            added = self.abstraction.refine(refinement.registers)
+            record.refinement_added = added
+            record.seconds = time.monotonic() - iter_start
+            self._log(
+                f"[iter {index}] refinement: {refinement.stats.candidates} "
+                f"candidates -> {len(refinement.registers)} selected "
+                f"({added} new)"
+            )
+            if added == 0:
+                # No progress: fall back to every pseudo-input register the
+                # trace mentions, then give up if still stuck.
+                frequency = abstract_trace.assigned_signals()
+                fallback = [
+                    reg
+                    for reg in self.abstraction.pseudo_input_registers()
+                    if reg in frequency
+                ]
+                added = self.abstraction.refine(fallback)
+                record.refinement_added = added
+                if added == 0:
+                    return finish(
+                        RfnStatus.RESOURCE_OUT,
+                        abstract_trace=abstract_trace,
+                        detail=(
+                            "refinement made no progress (abstract trace "
+                            "could not be invalidated)"
+                        ),
+                    )
+        return finish(RfnStatus.RESOURCE_OUT, detail="iteration limit")

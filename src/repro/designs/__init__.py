@@ -1,0 +1,62 @@
+"""Parameterized benchmark design generators.
+
+The paper evaluates RFN on proprietary industrial designs (a processor
+module, a FIFO controller, the picoJava Integer Unit and a USB bus
+controller).  These generators build synthetic gate-level designs with the
+same *shape*: a small control core that the proof actually needs, buried
+in a cone of influence full of datapath registers that a good abstraction
+must discard.  Every generator is parameterized; the default sizes keep
+the Python engines fast, and each has a paper-scale configuration
+reproducing the register counts of Tables 1 and 2.
+
+- :mod:`repro.designs.counters` -- canonical small circuits for tests and
+  examples,
+- :mod:`repro.designs.fifo` -- the FIFO controller with the ``psh_hf`` /
+  ``psh_af`` / ``psh_full`` flag-consistency properties,
+- :mod:`repro.designs.cpu` -- the processor module with the ``mutex``
+  (True) and ``error_flag`` (False, planted bug) properties,
+- :mod:`repro.designs.picojava_iu` -- an integer-unit-like cluster of
+  interlocked control FSMs for the IU1-IU5 coverage sets,
+- :mod:`repro.designs.usb` -- a USB-like serial protocol engine for the
+  USB1-USB2 coverage sets,
+- :mod:`repro.designs.library` -- the named registry used by the Table 1
+  and Table 2 benchmark harnesses.
+"""
+
+from repro.designs.counters import (
+    free_counter,
+    one_hot_ring,
+    password_lock,
+    saturating_counter,
+    shift_chain,
+    toggler,
+)
+from repro.designs.fifo import FifoParams, build_fifo
+from repro.designs.cpu import CpuParams, build_cpu
+from repro.designs.picojava_iu import IuParams, build_iu
+from repro.designs.usb import UsbParams, build_usb
+from repro.designs.library import (
+    paper_scale_enabled,
+    table1_workloads,
+    table2_workloads,
+)
+
+__all__ = [
+    "CpuParams",
+    "FifoParams",
+    "IuParams",
+    "UsbParams",
+    "build_cpu",
+    "build_fifo",
+    "build_iu",
+    "build_usb",
+    "free_counter",
+    "one_hot_ring",
+    "paper_scale_enabled",
+    "password_lock",
+    "saturating_counter",
+    "shift_chain",
+    "table1_workloads",
+    "table2_workloads",
+    "toggler",
+]

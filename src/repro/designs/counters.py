@@ -1,0 +1,121 @@
+"""Canonical small sequential circuits.
+
+These are the fruit flies of the test suite and the examples: small
+enough to verify by brute force, varied enough to exercise every engine
+(free and saturating counters, shift chains, one-hot rings, a sequence
+lock with a deep, hard-to-hit state).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.property import UnreachabilityProperty, watchdog_property
+from repro.netlist.circuit import Circuit
+from repro.netlist.words import WordReg, w_eq_const, w_inc
+
+
+def toggler() -> Circuit:
+    """One register that toggles while ``en`` is high."""
+    c = Circuit("toggler")
+    en = c.add_input("en")
+    q = c.add_register("d", init=0, output="q")
+    nq = c.g_not(q, output="nq")
+    c.g_mux(en, q, nq, output="d")
+    c.mark_output(q)
+    c.validate()
+    return c
+
+
+def free_counter(width: int = 4) -> Circuit:
+    """A free-running wrap-around counter ``cnt[width]``."""
+    c = Circuit(f"counter{width}")
+    cnt = WordReg(c, "cnt", width, init=0)
+    nxt, _ = w_inc(c, cnt.q)
+    cnt.drive(nxt)
+    for bit in cnt.q:
+        c.mark_output(bit)
+    c.validate()
+    return c
+
+
+def saturating_counter(
+    width: int = 4, ceiling: int = None
+) -> Tuple[Circuit, UnreachabilityProperty]:
+    """A counter that saturates at ``ceiling``; the property that it never
+    exceeds the ceiling is True."""
+    if ceiling is None:
+        ceiling = (1 << width) - 2
+    c = Circuit(f"satcnt{width}")
+    cnt = WordReg(c, "cnt", width, init=0)
+    nxt, _ = w_inc(c, cnt.q)
+    stop = w_eq_const(c, cnt.q, ceiling)
+    held = [c.g_mux(stop, n, q) for n, q in zip(nxt, cnt.q)]
+    cnt.drive(held)
+    bad = w_eq_const(c, cnt.q, ceiling + 1)
+    prop = watchdog_property(c, bad, "overflow")
+    c.validate()
+    return c, prop
+
+
+def shift_chain(
+    depth: int = 8, source_constant: int = 0
+) -> Tuple[Circuit, UnreachabilityProperty]:
+    """A constant-fed shift chain; "the last tap goes high" is True/False
+    depending on the constant."""
+    c = Circuit(f"chain{depth}")
+    src = c.g_const(source_constant, output="src")
+    prev = c.add_register(src, output="r1")
+    for i in range(2, depth + 1):
+        prev = c.add_register(prev, output=f"r{i}")
+    prop = watchdog_property(c, prev, "tap_high")
+    c.validate()
+    return c, prop
+
+
+def one_hot_ring(n: int = 4) -> Tuple[Circuit, List[str]]:
+    """A one-hot ring counter; returns the circuit and its state signals
+    (natural coverage signals: only the n one-hot states are reachable)."""
+    c = Circuit(f"ring{n}")
+    signals = []
+    for i in range(n):
+        signals.append(
+            c.add_register(
+                f"s{(i - 1) % n}",
+                init=1 if i == 0 else 0,
+                output=f"s{i}",
+            )
+        )
+    c.validate()
+    return c, signals
+
+
+def password_lock(
+    width: int = 4,
+    secret: int = 0b1011,
+    stages: int = 6,
+) -> Tuple[Circuit, UnreachabilityProperty]:
+    """A sequence lock: the stage counter advances only while the input
+    word equals the secret; the watchdog fires at the last stage.
+
+    The violation is reachable but requires ``stages`` consecutive correct
+    guesses -- the classic workload where trace guidance beats blind
+    search."""
+    import math
+
+    c = Circuit("lock")
+    bits = max(1, math.ceil(math.log2(stages + 1)))
+    data = [c.add_input(f"data[{i}]") for i in range(width)]
+    stage = WordReg(c, "stage", bits, init=0)
+    ok_bits = [
+        d if (secret >> i) & 1 else c.g_not(d) for i, d in enumerate(data)
+    ]
+    ok = c.g_and(*ok_bits) if len(ok_bits) > 1 else ok_bits[0]
+    nxt, _ = w_inc(c, stage.q)
+    held = [c.g_mux(ok, q, n) for q, n in zip(stage.q, nxt)]
+    at_goal = w_eq_const(c, stage.q, stages)
+    frozen = [c.g_mux(at_goal, h, q) for h, q in zip(held, stage.q)]
+    stage.drive(frozen)
+    prop = watchdog_property(c, at_goal, "unlocked")
+    c.validate()
+    return c, prop

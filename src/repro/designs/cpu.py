@@ -1,0 +1,243 @@
+"""The processor-module design (Table 1: ``mutex`` and ``error_flag``).
+
+A synthetic "module of a processor design" with the paper's workload
+shape: the properties live in a small control core (a two-requester
+arbiter and a command-sequence FSM), but the stall network wires the
+*entire* datapath -- register file, pipeline, scoreboard -- into their
+cone of influence, so plain COI-reduced model checking faces thousands of
+registers while RFN proves/falsifies on a handful.
+
+Components
+----------
+- **Register file**: ``regfile_words`` x ``word_width`` registers, written
+  by the pipeline's commit stage.
+- **Pipeline**: ``pipeline_stages`` stages of valid/addr/data registers.
+- **Scoreboard**: busy bits set on issue, cleared on commit.
+- **Stall network**: scoreboard pressure OR a parity hazard computed from
+  the register-file word the first pipeline stage addresses (this read
+  mux is what drags the whole register file into the COI).
+- **Arbiter** (property ``mutex``, True): a token register alternates
+  priority; grants are registered, held until acknowledged, and only
+  issued when no grant is outstanding -- the two grant registers can
+  never both be set.
+- **Bug FSM** (property ``error_flag``, False): a sequence counter
+  advances while ``cmd`` equals a secret and the pipeline is not stalled;
+  at ``bug_depth`` it raises the error condition.  The violation is real
+  and its shortest trace is ``bug_depth + 2`` cycles (the paper's
+  ``error_flag`` produced a 30-cycle trace; use ``bug_depth=28``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.property import UnreachabilityProperty, watchdog_property
+from repro.netlist.circuit import Circuit
+from repro.netlist.words import (
+    WordReg,
+    or_reduce,
+    w_eq_const,
+    w_inc,
+    w_mux,
+    word_input,
+)
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    regfile_words: int = 16
+    word_width: int = 8
+    pipeline_stages: int = 4
+    scoreboard_entries: int = 8
+    bug_depth: int = 8
+    cmd_width: int = 4
+    secret: int = 0b1001
+
+    def __post_init__(self) -> None:
+        for field_name in ("regfile_words", "scoreboard_entries"):
+            value = getattr(self, field_name)
+            if value < 2 or value & (value - 1):
+                raise ValueError(f"{field_name} must be a power of two >= 2")
+        if self.bug_depth < 1:
+            raise ValueError("bug_depth must be >= 1")
+        if not 0 <= self.secret < (1 << self.cmd_width):
+            raise ValueError("secret must fit in cmd_width bits")
+
+    @classmethod
+    def paper_scale(cls) -> "CpuParams":
+        """~5,000 registers in the properties' COI (Table 1 scale)."""
+        return cls(
+            regfile_words=512,
+            word_width=9,
+            pipeline_stages=8,
+            scoreboard_entries=64,
+            bug_depth=28,
+        )
+
+    @property
+    def addr_bits(self) -> int:
+        return int(math.log2(self.regfile_words))
+
+    @property
+    def sb_bits(self) -> int:
+        return int(math.log2(self.scoreboard_entries))
+
+    @property
+    def seq_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.bug_depth + 1)))
+
+
+def build_cpu(
+    params: CpuParams = CpuParams(),
+) -> Tuple[Circuit, Dict[str, UnreachabilityProperty]]:
+    """Build the processor module; returns (circuit, properties).
+
+    Properties: ``mutex`` (True), ``error_flag`` (False).
+    """
+    c = Circuit("cpu")
+    cmd = word_input(c, "cmd", params.cmd_width)
+    din = word_input(c, "din", params.word_width)
+    waddr = word_input(c, "waddr", params.addr_bits)
+    sb_idx = word_input(c, "sb_idx", params.sb_bits)
+    req0 = c.add_input("req0")
+    req1 = c.add_input("req1")
+    ack0 = c.add_input("ack0")
+    ack1 = c.add_input("ack1")
+
+    # ------------------------------------------------------------------
+    # Register file
+    # ------------------------------------------------------------------
+    regfile = [
+        WordReg(c, f"rf{i}", params.word_width, init=0)
+        for i in range(params.regfile_words)
+    ]
+
+    # ------------------------------------------------------------------
+    # Pipeline registers (valid, addr, data per stage)
+    # ------------------------------------------------------------------
+    stage_valid: List[str] = []
+    stage_addr: List[List[str]] = []
+    stage_data: List[List[str]] = []
+    for s in range(params.pipeline_stages):
+        stage_valid.append(
+            c.add_register(f"pv{s}$d", init=0, output=f"pv{s}")
+        )
+        addr_reg = WordReg(c, f"pa{s}", params.addr_bits, init=0)
+        data_reg = WordReg(c, f"pd{s}", params.word_width, init=0)
+        stage_addr.append(addr_reg)
+        stage_data.append(data_reg)
+
+    # ------------------------------------------------------------------
+    # Scoreboard busy bits
+    # ------------------------------------------------------------------
+    busy = [
+        c.add_register(f"sb{i}$d", init=0, output=f"sb{i}")
+        for i in range(params.scoreboard_entries)
+    ]
+
+    # ------------------------------------------------------------------
+    # Stall network: scoreboard pressure OR register-file parity hazard.
+    # The parity hazard reads the register file at the first pipeline
+    # stage's address, pulling every regfile register into the COI.
+    # ------------------------------------------------------------------
+    read_word = []
+    for b in range(params.word_width):
+        bit = c.g_const(0)
+        for i, word in enumerate(regfile):
+            selected = w_eq_const(c, stage_addr[0].q, i)
+            bit = c.g_or(bit, c.g_and(selected, word.q[b]))
+        read_word.append(bit)
+    parity = read_word[0]
+    for bit in read_word[1:]:
+        parity = c.g_xor(parity, bit)
+    hazard = c.g_and(parity, stage_valid[0], output="hazard")
+    sb_pressure = or_reduce(c, busy)
+    stall = c.g_or(sb_pressure, hazard, output="stall")
+
+    # ------------------------------------------------------------------
+    # Arbiter: token priority, registered grants held until ack.
+    # ------------------------------------------------------------------
+    token = c.add_register("token$d", init=0, output="token")
+    g0 = c.add_register("g0$d", init=0, output="g0")
+    g1 = c.add_register("g1$d", init=0, output="g1")
+    outstanding = c.g_or(g0, g1, output="grant_busy")
+    no_grant = c.g_not(outstanding)
+    not_stall = c.g_not(stall)
+    g0_new = c.g_and(req0, token, no_grant, not_stall)
+    g1_new = c.g_and(req1, c.g_not(token), no_grant, not_stall)
+    g0_hold = c.g_and(g0, c.g_not(ack0))
+    g1_hold = c.g_and(g1, c.g_not(ack1))
+    c.g_or(g0_new, g0_hold, output="g0$d")
+    c.g_or(g1_new, g1_hold, output="g1$d")
+    done = c.g_or(c.g_and(g0, ack0), c.g_and(g1, ack1))
+    c.g_mux(done, token, c.g_not(token), output="token$d")
+    issue = c.g_or(g0_new, g1_new, output="issue")
+
+    # ------------------------------------------------------------------
+    # Pipeline flow: stage 0 captures an issue; later stages shift when
+    # not stalled; the final stage commits to the register file.
+    # ------------------------------------------------------------------
+    advance = not_stall
+    c.g_mux(
+        advance,
+        stage_valid[0],
+        issue,
+        output="pv0$d",
+    )
+    stage_addr[0].drive(w_mux(c, advance, stage_addr[0].q, waddr))
+    stage_data[0].drive(w_mux(c, advance, stage_data[0].q, din))
+    for s in range(1, params.pipeline_stages):
+        c.g_mux(
+            advance,
+            stage_valid[s],
+            stage_valid[s - 1],
+            output=f"pv{s}$d",
+        )
+        stage_addr[s].drive(
+            w_mux(c, advance, stage_addr[s].q, stage_addr[s - 1].q)
+        )
+        stage_data[s].drive(
+            w_mux(c, advance, stage_data[s].q, stage_data[s - 1].q)
+        )
+    last = params.pipeline_stages - 1
+    commit = c.g_and(stage_valid[last], advance, output="commit")
+
+    # Register-file write port.
+    for i, word in enumerate(regfile):
+        selected = w_eq_const(c, stage_addr[last].q, i)
+        write_word = c.g_and(commit, selected)
+        word.drive(w_mux(c, write_word, word.q, stage_data[last].q))
+
+    # Scoreboard set on issue, cleared on commit (same indexed entry).
+    for i, bit in enumerate(busy):
+        set_bit = c.g_and(issue, w_eq_const(c, sb_idx, i))
+        clear_bit = c.g_and(commit, w_eq_const(c, sb_idx, i))
+        held = c.g_and(bit, c.g_not(clear_bit))
+        c.g_or(set_bit, held, output=f"sb{i}$d")
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    properties: Dict[str, UnreachabilityProperty] = {}
+
+    # mutex: the two grant registers are never simultaneously set (True).
+    bad_mutex = c.g_and(g0, g1, output="bad_mutex")
+    properties["mutex"] = watchdog_property(c, bad_mutex, "mutex")
+
+    # error_flag: the command-sequence FSM reaches the planted illegal
+    # state after bug_depth consecutive secret commands while not stalled
+    # (False; shortest error trace is bug_depth + 2 cycles).
+    seq = WordReg(c, "seq", params.seq_bits, init=0)
+    secret_now = w_eq_const(c, cmd, params.secret)
+    step = c.g_and(secret_now, not_stall, output="seq_step")
+    inc, _ = w_inc(c, seq.q)
+    advanced = w_mux(c, step, [c.g_const(0)] * params.seq_bits, inc)
+    at_bug = w_eq_const(c, seq.q, params.bug_depth)
+    seq.drive(w_mux(c, at_bug, advanced, seq.q))
+    bad_err = c.g_buf(at_bug, output="bad_err")
+    properties["error_flag"] = watchdog_property(c, bad_err, "error_flag")
+
+    c.validate()
+    return c, properties

@@ -1,0 +1,163 @@
+"""The FIFO controller design (Table 1: ``psh_hf``, ``psh_af``,
+``psh_full``).
+
+A synchronous FIFO with a data array, read/write pointers, an occupancy
+counter and *registered* status flags (half-full, almost-full, full) that
+are computed one cycle ahead from the next occupancy.  The three
+properties assert that each registered flag always agrees with the
+combinational threshold check on the occupancy counter -- the kind of
+flag-consistency safety property a designer actually writes.
+
+Two features mirror the paper's workload shape:
+
+- the bad conditions also disjoin an *impossible data-array condition*
+  (all memory bits 1 and all 0 simultaneously), which drags the whole
+  data array into every property's cone of influence the way an
+  ECC/parity checker would -- the plain COI-reduced model checker has to
+  carry ~130 registers, while RFN proves the property on the handful of
+  counter/flag registers;
+- all flags derive from a shared occupancy counter, so the three
+  properties share most of their proof core (like the paper's 42-49
+  register abstract models).
+
+The default parameters give a 133-register COI; ``FifoParams.paper_scale()``
+matches the paper's 135-register design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.property import UnreachabilityProperty, watchdog_property
+from repro.netlist.circuit import Circuit
+from repro.netlist.words import (
+    WordReg,
+    and_reduce,
+    or_reduce,
+    w_dec,
+    w_eq_const,
+    w_ge_const,
+    w_inc,
+    w_mux,
+    word_input,
+)
+
+
+@dataclass(frozen=True)
+class FifoParams:
+    """FIFO geometry.  ``depth`` must be a power of two."""
+
+    depth: int = 8
+    width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.depth < 2 or self.depth & (self.depth - 1):
+            raise ValueError("depth must be a power of two >= 2")
+        if self.width < 1:
+            raise ValueError("width must be positive")
+
+    @classmethod
+    def paper_scale(cls) -> "FifoParams":
+        """~135 registers in the properties' COI, like the paper's FIFO."""
+        return cls(depth=16, width=7)
+
+    @property
+    def addr_bits(self) -> int:
+        return int(math.log2(self.depth))
+
+    @property
+    def count_bits(self) -> int:
+        return self.addr_bits + 1  # counts 0 .. depth inclusive
+
+
+def build_fifo(
+    params: FifoParams = FifoParams(),
+) -> Tuple[Circuit, Dict[str, UnreachabilityProperty]]:
+    """Build the FIFO controller; returns (circuit, properties).
+
+    Properties: ``psh_hf``, ``psh_af``, ``psh_full`` -- all True.
+    """
+    c = Circuit("fifo")
+    push = c.add_input("push")
+    pop = c.add_input("pop")
+    din = word_input(c, "din", params.width)
+
+    count = WordReg(c, "count", params.count_bits, init=0)
+    wr_ptr = WordReg(c, "wr_ptr", params.addr_bits, init=0)
+    rd_ptr = WordReg(c, "rd_ptr", params.addr_bits, init=0)
+    mem = [
+        WordReg(c, f"mem{i}", params.width, init=0)
+        for i in range(params.depth)
+    ]
+
+    full = w_eq_const(c, count.q, params.depth)
+    empty = w_eq_const(c, count.q, 0)
+    c.g_buf(full, output="full")
+    c.g_buf(empty, output="empty")
+    do_push = c.g_and(push, c.g_not(full), output="do_push")
+    do_pop = c.g_and(pop, c.g_not(empty), output="do_pop")
+
+    # Occupancy: +1 on push-only, -1 on pop-only, held otherwise.
+    inc, _ = w_inc(c, count.q)
+    dec, _ = w_dec(c, count.q)
+    push_only = c.g_and(do_push, c.g_not(do_pop))
+    pop_only = c.g_and(do_pop, c.g_not(do_push))
+    next_count = w_mux(c, pop_only, w_mux(c, push_only, count.q, inc), dec)
+    count.drive(next_count)
+
+    # Pointers advance on their own operations (wrap-around).
+    wr_inc, _ = w_inc(c, wr_ptr.q)
+    rd_inc, _ = w_inc(c, rd_ptr.q)
+    wr_ptr.drive(w_mux(c, do_push, wr_ptr.q, wr_inc))
+    rd_ptr.drive(w_mux(c, do_pop, rd_ptr.q, rd_inc))
+
+    # Data array write port.
+    for i, slot in enumerate(mem):
+        selected = w_eq_const(c, wr_ptr.q, i)
+        write_slot = c.g_and(do_push, selected)
+        slot.drive(w_mux(c, write_slot, slot.q, din))
+
+    # Read port (combinational mux over the read pointer).
+    dout = []
+    for b in range(params.width):
+        bit = c.g_const(0)
+        for i, slot in enumerate(mem):
+            selected = w_eq_const(c, rd_ptr.q, i)
+            bit = c.g_or(bit, c.g_and(selected, slot.q[b]))
+        dout.append(c.g_buf(bit, output=f"dout[{b}]"))
+
+    # Registered status flags, computed from the *next* occupancy so they
+    # are valid in the same cycle as the updated counter.
+    half = params.depth // 2
+    almost = params.depth - 2
+    hf_next = w_ge_const(c, next_count, half)
+    af_next = w_ge_const(c, next_count, almost)
+    full_next = w_eq_const(c, next_count, params.depth)
+    hf_flag = c.add_register(hf_next, init=0, output="hf_flag")
+    af_flag = c.add_register(af_next, init=0, output="af_flag")
+    full_flag = c.add_register(full_next, init=0, output="full_flag")
+
+    # The impossible data-array condition that drags the memory into the
+    # COI of every property (an ECC-checker stand-in): all bits 1 AND all
+    # bits 0 at once.
+    all_bits = [bit for slot in mem for bit in slot.q]
+    mem_conflict = c.g_and(
+        and_reduce(c, all_bits),
+        c.g_not(or_reduce(c, all_bits)),
+        output="mem_conflict",
+    )
+
+    properties: Dict[str, UnreachabilityProperty] = {}
+    for name, flag, threshold_fn in (
+        ("psh_hf", hf_flag, lambda: w_ge_const(c, count.q, half)),
+        ("psh_af", af_flag, lambda: w_ge_const(c, count.q, almost)),
+        ("psh_full", full_flag, lambda: w_eq_const(c, count.q, params.depth)),
+    ):
+        mismatch = c.g_xor(flag, threshold_fn())
+        bad = c.g_or(mismatch, mem_conflict)
+        properties[name] = watchdog_property(c, bad, name)
+
+    c.validate()
+    return c, properties

@@ -1,0 +1,145 @@
+"""A USB-like serial protocol engine (Table 2: coverage sets USB1, USB2).
+
+The paper's last two coverage sets come from a USB bus controller.  This
+generator builds the control core of such a device-side engine:
+
+- an NRZI decoder (previous-level register),
+- a bit-unstuffing counter (six consecutive ones force a stuffed zero;
+  a seventh is a protocol error),
+- a serial-to-parallel shift register with a bit counter,
+- a packet FSM (SYNC hunt -> PID -> payload -> EOP) fed by the decoded
+  bit stream,
+- an endpoint FSM (idle / receive / respond / halt) handshaking with the
+  packet FSM, and a timeout counter.
+
+The protocol invariants (the stuff counter never passes 6 while in-packet,
+FSM encodings with unused states, endpoint/packet phase coupling) give a
+rich supply of unreachable coverage states.  USB1 is a 6-signal set over
+the packet FSM and stuffing logic; USB2 is the paper's big 21-signal set
+spanning the shift register, both FSMs and the counters (2M coverage
+states -- only representable symbolically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.words import (
+    WordReg,
+    w_eq_const,
+    w_inc,
+    w_mux,
+    w_shift_in,
+)
+
+
+@dataclass(frozen=True)
+class UsbParams:
+    timeout_bits: int = 4
+
+    @classmethod
+    def paper_scale(cls) -> "UsbParams":
+        return cls(timeout_bits=6)
+
+
+def build_usb(
+    params: UsbParams = UsbParams(),
+) -> Tuple[Circuit, Dict[str, List[str]]]:
+    """Build the USB-like engine; returns (circuit, coverage sets)."""
+    c = Circuit("usb")
+    dplus = c.add_input("dplus")  # raw line level
+    se0 = c.add_input("se0")  # end-of-packet line state
+    host_ack = c.add_input("host_ack")
+
+    # NRZI decoding: a 0 on the wire is a level transition.
+    prev_level = c.add_register("dplus", init=1, output="prev_level")
+    bit = c.g_xnor(dplus, prev_level, output="nrzi_bit")
+
+    # Bit unstuffing: count consecutive ones; 6 -> expect stuffed zero,
+    # 7 -> stuff error.
+    ones = WordReg(c, "ones", 3, init=0)
+    at_six = w_eq_const(c, ones.q, 6)
+    inc, _ = w_inc(c, ones.q)
+    zero3 = [c.g_const(0)] * 3
+    held_at_six = w_mux(c, bit, zero3, w_mux(c, at_six, inc, ones.q))
+    ones.drive(held_at_six)
+    stuff_err_cond = c.g_and(at_six, bit, output="stuff_err_cond")
+    stuff_err = c.add_register("stuff_err$d", init=0, output="stuff_err")
+    c.g_or(stuff_err, stuff_err_cond, output="stuff_err$d")
+    stuffed = c.g_and(at_six, c.g_not(bit), output="stuffed_zero")
+    data_valid = c.g_not(stuffed, output="data_valid")
+
+    # Serial-to-parallel: 8-bit shift register plus bit counter.
+    shift = WordReg(c, "shift", 8, init=0)
+    shift.drive(w_mux(c, data_valid, shift.q, w_shift_in(c, shift.q, bit)))
+    bitcnt = WordReg(c, "bitcnt", 3, init=0)
+    bit_inc, _ = w_inc(c, bitcnt.q)
+    bitcnt.drive(w_mux(c, data_valid, bitcnt.q, bit_inc))
+    byte_done = w_eq_const(c, bitcnt.q, 7)
+    c.g_buf(byte_done, output="byte_done")
+
+    # Packet FSM: 0 idle/SYNC hunt, 1 PID, 2 payload, 3 EOP wait.
+    # (2 bits; all four encodings used, but phase coupling with the
+    # endpoint FSM below creates unreachable cross-products.)
+    pkt = WordReg(c, "pkt", 2, init=0)
+    sync_seen = w_eq_const(c, shift.q, 0b10000000)  # SYNC pattern
+    in_idle = w_eq_const(c, pkt.q, 0)
+    in_pid = w_eq_const(c, pkt.q, 1)
+    in_payload = w_eq_const(c, pkt.q, 2)
+    in_eop = w_eq_const(c, pkt.q, 3)
+    byte_edge = c.g_and(byte_done, data_valid)
+    to_pid = c.g_and(in_idle, sync_seen)
+    to_payload = c.g_and(in_pid, byte_edge)
+    to_eop = c.g_and(in_payload, se0)
+    back_idle = c.g_and(in_eop, c.g_not(se0))
+    err_abort = c.g_buf(stuff_err, output="pkt_abort")
+    one2 = [c.g_const(1), c.g_const(0)]
+    two2 = [c.g_const(0), c.g_const(1)]
+    three2 = [c.g_const(1), c.g_const(1)]
+    zero2 = [c.g_const(0), c.g_const(0)]
+    nxt = w_mux(c, to_pid, pkt.q, one2)
+    nxt = w_mux(c, to_payload, nxt, two2)
+    nxt = w_mux(c, to_eop, nxt, three2)
+    nxt = w_mux(c, back_idle, nxt, zero2)
+    nxt = w_mux(c, err_abort, nxt, zero2)
+    pkt.drive(nxt)
+
+    # Endpoint FSM: 0 idle, 1 receiving, 2 responding, 3 halted.
+    ep = WordReg(c, "ep", 2, init=0)
+    ep_idle = w_eq_const(c, ep.q, 0)
+    ep_rx = w_eq_const(c, ep.q, 1)
+    ep_tx = w_eq_const(c, ep.q, 2)
+    start_rx = c.g_and(ep_idle, to_payload)
+    finish_rx = c.g_and(ep_rx, to_eop)
+    finish_tx = c.g_and(ep_tx, host_ack)
+    halt = c.g_and(ep_rx, stuff_err)
+    ep_nxt = w_mux(c, start_rx, ep.q, one2)
+    ep_nxt = w_mux(c, finish_rx, ep_nxt, two2)
+    ep_nxt = w_mux(c, finish_tx, ep_nxt, zero2)
+    ep_nxt = w_mux(c, halt, ep_nxt, three2)
+    ep.drive(ep_nxt)
+
+    # Timeout counter: counts in the responding state, clears elsewhere.
+    timeout = WordReg(c, "timeout", params.timeout_bits, init=0)
+    t_inc, _ = w_inc(c, timeout.q)
+    t_zero = [c.g_const(0)] * params.timeout_bits
+    timeout.drive(w_mux(c, ep_tx, t_zero, t_inc))
+
+    coverage: Dict[str, List[str]] = {
+        "USB1": list(pkt.q) + list(ep.q) + ["stuff_err", "prev_level"],
+        "USB2": (
+            list(shift.q)
+            + list(bitcnt.q)
+            + list(ones.q)
+            + list(pkt.q)
+            + list(ep.q)
+            + ["stuff_err"]
+            + list(timeout.q)[:2]
+        ),
+    }
+    coverage["USB1"] = coverage["USB1"][:6]
+    assert len(coverage["USB2"]) == 21, len(coverage["USB2"])
+    c.validate()
+    return c, coverage

@@ -1,0 +1,192 @@
+"""Circuit-to-BDD symbolic encoding.
+
+Each register output gets a *current-state* variable (its own name) and a
+*next-state* partner named ``<name>#next``; the pair is declared adjacently
+and fused into a BDD sifting group, so dynamic reordering keeps image
+renaming a monotone remap.  Primary inputs get one variable each.
+
+The static variable order is a DFS over the next-state cones (inputs and
+registers appear roughly where their logic consumes them), which is the
+usual "interleaved, locality-following" starting order.  RFN passes a
+saved order from the previous refinement iteration when one exists
+(Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.bdd import BDD, Function
+from repro.netlist.cell import GateOp
+from repro.netlist.circuit import Circuit
+
+NEXT_SUFFIX = "#next"
+
+
+def next_var_name(register: str) -> str:
+    return register + NEXT_SUFFIX
+
+
+def static_variable_order(circuit: Circuit, roots: Iterable[str] = ()) -> List[str]:
+    """State/input signal names in DFS order over the combinational cones
+    of the register data inputs (and any extra roots)."""
+    order: List[str] = []
+    seen: Set[str] = set()
+
+    def visit(sig: str) -> None:
+        stack = [sig]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            gate = circuit.gates.get(name)
+            if gate is None:
+                seen.add(name)
+                order.append(name)
+            else:
+                seen.add(name)
+                stack.extend(reversed(gate.inputs))
+
+    for root in roots:
+        visit(root)
+    for reg_out, reg in circuit.registers.items():
+        if reg_out not in seen:
+            seen.add(reg_out)
+            order.append(reg_out)
+        visit(reg.data)
+    for name in circuit.inputs:
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+    return order
+
+
+class SymbolicEncoding:
+    """BDD view of a circuit: variables, gate functions, next-state
+    functions and initial-state predicate."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        bdd: Optional[BDD] = None,
+        var_order: Optional[Sequence[str]] = None,
+        extra_roots: Iterable[str] = (),
+    ) -> None:
+        self.circuit = circuit
+        self.bdd = bdd or BDD()
+        order = self._resolve_order(var_order, extra_roots)
+        self.current_vars: List[str] = []
+        self.next_vars: List[str] = []
+        self.input_vars: List[str] = []
+        for name in order:
+            if circuit.is_register_output(name):
+                self.bdd.declare(name)
+                self.bdd.declare(next_var_name(name))
+                self.bdd.group([name, next_var_name(name)])
+                self.current_vars.append(name)
+                self.next_vars.append(next_var_name(name))
+            else:
+                self.bdd.declare(name)
+                self.input_vars.append(name)
+        self._functions: Dict[str, Function] = {}
+        self._build_functions()
+
+    def _resolve_order(
+        self,
+        var_order: Optional[Sequence[str]],
+        extra_roots: Iterable[str],
+    ) -> List[str]:
+        natural = static_variable_order(self.circuit, extra_roots)
+        if var_order is None:
+            return natural
+        # Keep the saved order for signals that still exist, then append
+        # the new ones in natural position order.
+        existing = set(natural)
+        kept = [
+            name
+            for name in var_order
+            if name in existing and not name.endswith(NEXT_SUFFIX)
+        ]
+        kept_set = set(kept)
+        return kept + [name for name in natural if name not in kept_set]
+
+    def _build_functions(self) -> None:
+        bdd = self.bdd
+        for name in self.circuit.inputs:
+            self._functions[name] = bdd.var(name)
+        for name in self.circuit.registers:
+            self._functions[name] = bdd.var(name)
+        for gate in self.circuit.topo_gates():
+            inputs = [self._functions[s] for s in gate.inputs]
+            self._functions[gate.output] = self._eval_gate(gate.op, inputs)
+
+    def _eval_gate(self, op: GateOp, inputs: List[Function]) -> Function:
+        bdd = self.bdd
+        if op is GateOp.AND or op is GateOp.NAND:
+            acc = bdd.true
+            for f in inputs:
+                acc = acc & f
+            return ~acc if op is GateOp.NAND else acc
+        if op is GateOp.OR or op is GateOp.NOR:
+            acc = bdd.false
+            for f in inputs:
+                acc = acc | f
+            return ~acc if op is GateOp.NOR else acc
+        if op is GateOp.NOT:
+            return ~inputs[0]
+        if op is GateOp.BUF:
+            return inputs[0]
+        if op is GateOp.XOR or op is GateOp.XNOR:
+            acc = bdd.false
+            for f in inputs:
+                acc = acc ^ f
+            return ~acc if op is GateOp.XNOR else acc
+        if op is GateOp.MUX:
+            return bdd.ite(inputs[0], inputs[2], inputs[1])
+        if op is GateOp.CONST0:
+            return bdd.false
+        if op is GateOp.CONST1:
+            return bdd.true
+        raise ValueError(f"unknown gate op {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+
+    def function_of(self, signal: str) -> Function:
+        """The BDD of any signal over current-state and input variables."""
+        return self._functions[signal]
+
+    def next_state_function(self, register: str) -> Function:
+        return self._functions[self.circuit.registers[register].data]
+
+    def initial_states(self) -> Function:
+        """The predicate A over current-state variables; free-init
+        registers are unconstrained."""
+        cube = {
+            name: reg.init
+            for name, reg in self.circuit.registers.items()
+            if reg.init is not None
+        }
+        return self.bdd.cube(cube)
+
+    def state_cube(self, assignment: Dict[str, int]) -> Function:
+        """A cube over current-state (and possibly input) variables."""
+        return self.bdd.cube(assignment)
+
+    def rename_next_to_current(self, f: Function) -> Function:
+        return self.bdd.rename(
+            f, {next_var_name(r): r for r in self.current_vars}
+        )
+
+    def rename_current_to_next(self, f: Function) -> Function:
+        return self.bdd.rename(
+            f, {r: next_var_name(r) for r in self.current_vars}
+        )
+
+    def saved_order(self) -> List[str]:
+        """The current variable order, restricted to current-state and
+        input variables -- what RFN persists between iterations."""
+        return [
+            name
+            for name in self.bdd.var_order()
+            if not name.endswith(NEXT_SUFFIX)
+        ]

@@ -1,0 +1,125 @@
+"""Forward reachability with onion rings and on-the-fly target checks.
+
+This is the fixpoint engine of RFN Step 2 (and of the plain-model-checker
+baseline): compute the post-image sequence ``S_0 = A``, ``S_i =
+post(S_{i-1})``, accumulate the reached set, stop when it closes (property
+True on this model) or when a target state shows up in some ``S_k``.  The
+rings ``S_1..S_k`` are kept because the hybrid trace engine walks them
+backwards (Section 2.2).
+
+Resource limits (iterations, BDD nodes, wall-clock) end the run with the
+``RESOURCE_OUT`` outcome -- the honest answer a Python BDD engine must
+give on designs the paper's C engines also found hard.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bdd import Function
+from repro.bdd.manager import BDDNodeLimit
+from repro.mc.images import ImageComputer
+
+
+class ReachOutcome(enum.Enum):
+    FIXPOINT = "fixpoint"  # closed without hitting the target
+    TARGET_HIT = "target_hit"
+    RESOURCE_OUT = "resource_out"
+
+
+@dataclass
+class ReachLimits:
+    max_iterations: Optional[int] = None
+    max_nodes: Optional[int] = 2_000_000
+    max_seconds: Optional[float] = None
+
+
+@dataclass
+class ReachResult:
+    outcome: ReachOutcome
+    reached: Function
+    rings: List[Function] = field(default_factory=list)  # S_0 .. S_k
+    iterations: int = 0
+    hit_ring: Optional[int] = None
+    seconds: float = 0.0
+
+    @property
+    def fixpoint_reached(self) -> bool:
+        return self.outcome is ReachOutcome.FIXPOINT
+
+
+def forward_reach(
+    images: ImageComputer,
+    init: Function,
+    target: Optional[Function] = None,
+    limits: Optional[ReachLimits] = None,
+    keep_rings: bool = True,
+    step_hook: Optional[Callable[[int, Function], None]] = None,
+) -> ReachResult:
+    """Forward fixpoint from ``init``; stops early when ``target``
+    intersects a ring.
+
+    ``step_hook(iteration, reached)`` runs after every image step --
+    RFN uses it to trigger dynamic variable reordering at safe points.
+    """
+    limits = limits or ReachLimits()
+    bdd = images.bdd
+    start = time.monotonic()
+    reached = init
+    frontier = init
+    rings: List[Function] = [init]
+    iteration = 0
+
+    # A hard allocation ceiling turns a blowup *inside* one image step
+    # into a clean RESOURCE_OUT (the soft per-step check only runs between
+    # steps).  Allocation is append-only, so leave generous headroom.
+    saved_node_limit = bdd.node_limit
+    if limits.max_nodes is not None:
+        bdd.node_limit = max(
+            limits.max_nodes * 4, len(bdd._level) + limits.max_nodes
+        )
+
+    def make_result(outcome: ReachOutcome, hit: Optional[int] = None):
+        bdd.node_limit = saved_node_limit
+        return ReachResult(
+            outcome=outcome,
+            reached=reached,
+            rings=rings if keep_rings else [],
+            iterations=iteration,
+            hit_ring=hit,
+            seconds=time.monotonic() - start,
+        )
+
+    if target is not None and not (init & target).is_false:
+        return make_result(ReachOutcome.TARGET_HIT, hit=0)
+
+    while True:
+        if limits.max_iterations is not None and iteration >= limits.max_iterations:
+            return make_result(ReachOutcome.RESOURCE_OUT)
+        if limits.max_seconds is not None and (
+            time.monotonic() - start > limits.max_seconds
+        ):
+            return make_result(ReachOutcome.RESOURCE_OUT)
+        if limits.max_nodes is not None and bdd.total_nodes() > limits.max_nodes:
+            bdd.collect_garbage()
+            if bdd.total_nodes() > limits.max_nodes:
+                return make_result(ReachOutcome.RESOURCE_OUT)
+        iteration += 1
+        try:
+            image = images.post_image(frontier)
+            new = image - reached
+        except BDDNodeLimit:
+            return make_result(ReachOutcome.RESOURCE_OUT)
+        if new.is_false:
+            return make_result(ReachOutcome.FIXPOINT)
+        if keep_rings:
+            rings.append(image)
+        reached = reached | image
+        if target is not None and not (image & target).is_false:
+            return make_result(ReachOutcome.TARGET_HIT, hit=iteration)
+        frontier = image
+        if step_hook is not None:
+            step_hook(iteration, reached)

@@ -1,0 +1,20 @@
+"""Min-cut subcircuit extraction (Section 2.2, algorithm from [8]).
+
+Abstract models routinely have thousands of primary inputs (dropped
+register outputs become pseudo-inputs), which kills BDD pre-image
+computation.  The fix: compute a *free-cut* design FC (the registers plus
+the gates lying on register-to-register combinational paths) and then the
+*min-cut* design MC -- the subcircuit containing FC with the **fewest
+primary inputs**, found as a minimum vertex cut between the abstract
+model's primary inputs and FC.
+
+- :mod:`repro.mincut.maxflow` -- Dinic's max-flow / min-cut on unit-capacity
+  vertex-split networks,
+- :mod:`repro.mincut.mincut` -- free-cut construction and min-cut subcircuit
+  extraction on netlists.
+"""
+
+from repro.mincut.maxflow import FlowNetwork
+from repro.mincut.mincut import MinCutResult, free_cut_gates, min_cut_design
+
+__all__ = ["FlowNetwork", "MinCutResult", "free_cut_gates", "min_cut_design"]

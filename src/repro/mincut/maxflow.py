@@ -1,0 +1,136 @@
+"""Dinic's maximum-flow algorithm.
+
+A small, dependency-free implementation supporting the vertex-capacity
+trick (split each vertex into ``in``/``out`` halves) used by the min-cut
+subcircuit extraction.  Capacities are integers; ``INF`` marks uncuttable
+edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Set, Tuple
+
+INF = 1 << 60
+
+
+class FlowNetwork:
+    """A directed flow network over hashable node keys."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self._nodes: List[Hashable] = []
+        # Edge arrays: to[e], cap[e]; edge e ^ 1 is the reverse edge.
+        self._to: List[int] = []
+        self._cap: List[int] = []
+        self._adj: List[List[int]] = []
+
+    def node(self, key: Hashable) -> int:
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._nodes)
+            self._index[key] = idx
+            self._nodes.append(key)
+            self._adj.append([])
+        return idx
+
+    def add_edge(self, src: Hashable, dst: Hashable, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("negative capacity")
+        u, v = self.node(src), self.node(dst)
+        self._adj[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._adj[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(0)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+
+    def max_flow(self, source: Hashable, sink: Hashable) -> int:
+        s, t = self.node(source), self.node(sink)
+        flow = 0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level[t] < 0:
+                return flow
+            iters = [0] * self.num_nodes
+            while True:
+                pushed = self._dfs_push(s, t, INF, level, iters)
+                if pushed == 0:
+                    break
+                flow += pushed
+
+    def _bfs_levels(self, s: int, t: int) -> List[int]:
+        level = [-1] * self.num_nodes
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for e in self._adj[u]:
+                v = self._to[e]
+                if self._cap[e] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level
+
+    def _dfs_push(
+        self, u: int, t: int, limit: int, level: List[int], iters: List[int]
+    ) -> int:
+        if u == t:
+            return limit
+        stack: List[Tuple[int, int]] = [(u, limit)]
+        path: List[int] = []  # edges taken
+        while stack:
+            node, budget = stack[-1]
+            if node == t:
+                pushed = budget
+                for e in path:
+                    pushed = min(pushed, self._cap[e])
+                for e in path:
+                    self._cap[e] -= pushed
+                    self._cap[e ^ 1] += pushed
+                return pushed
+            advanced = False
+            while iters[node] < len(self._adj[node]):
+                e = self._adj[node][iters[node]]
+                v = self._to[e]
+                if self._cap[e] > 0 and level[v] == level[node] + 1:
+                    stack.append((v, min(budget, self._cap[e])))
+                    path.append(e)
+                    advanced = True
+                    break
+                iters[node] += 1
+            if not advanced:
+                level[node] = -1  # dead end
+                stack.pop()
+                if path:
+                    path.pop()
+                if stack:
+                    parent = stack[-1][0]
+                    iters[parent] += 1
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def reachable_in_residual(self, source: Hashable) -> Set[Hashable]:
+        """Node keys reachable from ``source`` in the residual graph.
+
+        Call after :meth:`max_flow`; the min cut is the set of saturated
+        edges leaving this set."""
+        s = self.node(source)
+        seen = [False] * self.num_nodes
+        seen[s] = True
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for e in self._adj[u]:
+                v = self._to[e]
+                if self._cap[e] > 0 and not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        return {self._nodes[i] for i in range(self.num_nodes) if seen[i]}

@@ -1,0 +1,175 @@
+"""Free-cut and min-cut subcircuit extraction on netlists.
+
+Terminology from Section 2.2 / [8]:
+
+- The **free-cut design** FC of an abstract model N contains the registers
+  of N plus the gates in the intersection of the transitive fanin and the
+  transitive fanout of the registers -- i.e. the gates lying on
+  register-to-register combinational paths.
+
+- The **min-cut design** MC is a subcircuit of N that includes FC and has
+  the smallest number of primary inputs.  We find it as a minimum vertex
+  cut separating N's primary inputs from FC in the combinational DAG:
+  every cuttable signal is split into in/out halves of capacity 1, FC
+  gates get infinite capacity, and the saturated split edges of a maximum
+  flow give the cut signals, which become MC's primary inputs.
+
+Pre-image computation on MC instead of N is what makes the paper's hybrid
+engine feasible: "min-cut subcircuits of abstract models that contain
+thousands of primary inputs tend to contain less than a couple hundred
+primary inputs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.mincut.maxflow import INF, FlowNetwork
+from repro.netlist.circuit import Circuit
+from repro.netlist.ops import combinational_cone
+
+_SOURCE = ("__source__",)
+_SINK = ("__sink__",)
+
+
+def free_cut_gates(circuit: Circuit) -> Set[str]:
+    """Gates on register-to-register combinational paths (FC gates)."""
+    data_inputs = [reg.data for reg in circuit.registers.values()]
+    fanin = combinational_cone(circuit, data_inputs)
+    # Forward sweep from register outputs through gates only.
+    fanout: Set[str] = set()
+    reg_outputs = set(circuit.registers)
+    for gate in circuit.topo_gates():
+        if any(
+            s in reg_outputs or s in fanout for s in gate.inputs
+        ):
+            fanout.add(gate.output)
+    return fanin & fanout
+
+
+@dataclass
+class MinCutResult:
+    """Outcome of min-cut extraction.
+
+    ``circuit`` is the min-cut design MC (same signal names as N);
+    ``cut_signals`` are MC's primary inputs;
+    ``internal_cut_signals`` are the cut signals that are *internal* (gate
+    output) signals of N -- assignments to these are what makes a cube a
+    "min-cut cube" in Figure 1.
+    """
+
+    circuit: Circuit
+    cut_signals: List[str]
+    internal_cut_signals: Set[str]
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.cut_signals)
+
+    def is_no_cut_cube(self, cube: Dict[str, int]) -> bool:
+        """Figure 1: a cube is *no-cut* when it only assigns registers or
+        primary inputs of the abstract model N."""
+        return not any(name in self.internal_cut_signals for name in cube)
+
+
+def min_cut_design(circuit: Circuit, name: str = "") -> MinCutResult:
+    """Extract the min-cut design MC of ``circuit`` (the abstract model N).
+
+    MC always contains every register of N; its primary inputs are the cut
+    signals.  If N has no registers the result degenerates to an empty
+    design with no inputs.
+    """
+    fc_gates = free_cut_gates(circuit)
+    data_inputs = [reg.data for reg in circuit.registers.values()]
+    relevant = combinational_cone(circuit, data_inputs)
+    reg_outputs = set(circuit.registers)
+
+    network = FlowNetwork()
+    cuttable: Set[str] = set()
+
+    def in_node(sig: str) -> Tuple[str, str]:
+        return ("in", sig)
+
+    def out_node(sig: str) -> Tuple[str, str]:
+        return ("out", sig)
+
+    def add_signal(sig: str) -> None:
+        if sig in cuttable or sig in reg_outputs:
+            return
+        capacity = INF if sig in fc_gates else 1
+        network.add_edge(in_node(sig), out_node(sig), capacity)
+        cuttable.add(sig)
+        if circuit.is_input(sig):
+            network.add_edge(_SOURCE, in_node(sig), INF)
+
+    for gate_out in relevant:
+        add_signal(gate_out)
+        for fanin in circuit.gates[gate_out].inputs:
+            if fanin in reg_outputs:
+                continue  # register outputs live inside MC, not cuttable
+            add_signal(fanin)
+            network.add_edge(out_node(fanin), in_node(gate_out), INF)
+    for data in data_inputs:
+        if data in reg_outputs:
+            continue
+        add_signal(data)
+        network.add_edge(out_node(data), _SINK, INF)
+
+    network.node(_SOURCE)
+    network.node(_SINK)
+    network.max_flow(_SOURCE, _SINK)
+    source_side = network.reachable_in_residual(_SOURCE)
+
+    cut_signals = sorted(
+        sig
+        for sig in cuttable
+        if in_node(sig) in source_side and out_node(sig) not in source_side
+    )
+    cut_set = set(cut_signals)
+
+    # MC gates: gates of the relevant cone on the sink side of the cut,
+    # found backwards from the register data inputs, stopping at the cut.
+    mc_gates: Set[str] = set()
+    stack = [d for d in data_inputs if d in relevant and d not in cut_set]
+    while stack:
+        sig = stack.pop()
+        if sig in mc_gates or sig in cut_set:
+            continue
+        gate = circuit.gates.get(sig)
+        if gate is None:
+            continue
+        mc_gates.add(sig)
+        for fanin in gate.inputs:
+            if fanin not in cut_set and circuit.is_gate_output(fanin):
+                stack.append(fanin)
+
+    mc = Circuit(name or f"{circuit.name}.mincut")
+    boundary: Set[str] = set(cut_set)
+    for gate_out in mc_gates:
+        for fanin in circuit.gates[gate_out].inputs:
+            if fanin not in mc_gates and not circuit.is_register_output(fanin):
+                boundary.add(fanin)
+    for data in data_inputs:
+        if (
+            data not in mc_gates
+            and not circuit.is_register_output(data)
+        ):
+            boundary.add(data)
+    for sig in sorted(boundary):
+        mc.add_input(sig)
+    for gate in circuit.topo_gates():
+        if gate.output in mc_gates:
+            mc.add_gate(gate.op, gate.inputs, gate.output)
+    for reg_out, reg in circuit.registers.items():
+        mc.add_register(reg.data, init=reg.init, output=reg_out)
+    mc.validate()
+
+    internal = {
+        sig for sig in mc.inputs if circuit.is_gate_output(sig)
+    }
+    return MinCutResult(
+        circuit=mc,
+        cut_signals=list(mc.inputs),
+        internal_cut_signals=internal,
+    )

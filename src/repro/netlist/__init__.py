@@ -1,0 +1,47 @@
+"""Gate-level netlist substrate.
+
+The paper's engines all operate on gate-level designs obtained from RTL
+through logic synthesis (Section 1).  This package provides the in-memory
+netlist model every other subsystem builds on:
+
+- :mod:`repro.netlist.cell` -- gate and register cell types,
+- :mod:`repro.netlist.circuit` -- the :class:`Circuit` container and builder,
+- :mod:`repro.netlist.ops` -- structural operations (transitive fanin/fanout,
+  cone-of-influence, subcircuit extraction),
+- :mod:`repro.netlist.textio` -- a small human-readable netlist text format,
+- :mod:`repro.netlist.words` -- word-level construction helpers (vectors,
+  adders, comparators, muxes) used by the benchmark design generators.
+"""
+
+from repro.netlist.cell import Gate, GateOp, Register
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.ops import (
+    coi_registers,
+    coi_stats,
+    combinational_cone,
+    extract_subcircuit,
+    register_dependency_graph,
+    support_of,
+    transitive_fanout_signals,
+)
+from repro.netlist.textio import circuit_from_text, circuit_to_text
+from repro.netlist.verilog import VerilogError, parse_verilog
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateOp",
+    "NetlistError",
+    "Register",
+    "VerilogError",
+    "circuit_from_text",
+    "circuit_to_text",
+    "parse_verilog",
+    "coi_registers",
+    "coi_stats",
+    "combinational_cone",
+    "extract_subcircuit",
+    "register_dependency_graph",
+    "support_of",
+    "transitive_fanout_signals",
+]

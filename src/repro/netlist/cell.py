@@ -1,0 +1,110 @@
+"""Cell types of a gate-level design.
+
+Following Section 2 of the paper, a gate-level design ``M = (G, L)`` is an
+ordered pair where ``G`` is a set of gates and ``L`` a set of registers.  A
+cell is a gate or a register; every cell has at least one input and one
+output.  We name every signal with a string; a cell is keyed by the signal it
+drives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class GateOp(enum.Enum):
+    """Primitive combinational gate operators.
+
+    The set is the usual post-synthesis primitive library.  ``MUX`` takes
+    inputs ``(sel, d0, d1)`` and outputs ``d1`` when ``sel`` is 1, else
+    ``d0``.  ``CONST0``/``CONST1`` take no inputs and drive a constant.
+    """
+
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NAND = "NAND"
+    NOR = "NOR"
+    BUF = "BUF"
+    MUX = "MUX"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def arity(self) -> Optional[int]:
+        """Required input count, or ``None`` for variadic operators."""
+        if self in (GateOp.AND, GateOp.OR, GateOp.NAND, GateOp.NOR):
+            return None  # variadic, >= 1
+        if self in (GateOp.XOR, GateOp.XNOR):
+            return None  # variadic, >= 1 (parity semantics)
+        if self in (GateOp.NOT, GateOp.BUF):
+            return 1
+        if self is GateOp.MUX:
+            return 3
+        return 0  # constants
+
+    @property
+    def min_arity(self) -> int:
+        if self in (GateOp.CONST0, GateOp.CONST1):
+            return 0
+        if self in (GateOp.NOT, GateOp.BUF):
+            return 1
+        if self is GateOp.MUX:
+            return 3
+        return 1
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate driving signal ``output``."""
+
+    output: str
+    op: GateOp
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        required = self.op.arity
+        if required is not None and len(self.inputs) != required:
+            raise ValueError(
+                f"gate {self.output!r}: {self.op.value} requires exactly "
+                f"{required} inputs, got {len(self.inputs)}"
+            )
+        if required is None and len(self.inputs) < self.op.min_arity:
+            raise ValueError(
+                f"gate {self.output!r}: {self.op.value} requires at least "
+                f"{self.op.min_arity} inputs, got {len(self.inputs)}"
+            )
+
+    def __repr__(self) -> str:
+        ins = ", ".join(self.inputs)
+        return f"Gate({self.output} = {self.op.value}({ins}))"
+
+
+@dataclass(frozen=True)
+class Register:
+    """A register (flop) driving signal ``output`` from data input ``data``.
+
+    ``init`` is the initial value of the register: 0, 1, or ``None`` for a
+    free (unconstrained) initial value.  The set ``A`` of initial states of a
+    design (Section 2) is the product of the registers' initial values, with
+    free registers contributing both values.
+    """
+
+    output: str
+    data: str
+    init: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.init not in (0, 1, None):
+            raise ValueError(
+                f"register {self.output!r}: init must be 0, 1 or None, "
+                f"got {self.init!r}"
+            )
+
+    def __repr__(self) -> str:
+        init = "X" if self.init is None else str(self.init)
+        return f"Register({self.output} := {self.data}, init={init})"

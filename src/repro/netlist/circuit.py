@@ -1,0 +1,334 @@
+"""The :class:`Circuit` container: a gate-level design ``M = (G, L)``.
+
+A circuit owns three disjoint families of signals:
+
+- *primary inputs* -- signals driven by no cell (Section 2: "the set of
+  inputs that are not the outputs of any other cells of the design"),
+- *gate outputs* -- signals driven by a combinational :class:`Gate`,
+- *register outputs* -- signals driven by a :class:`Register`.
+
+Signals are plain strings so that cubes and traces carry over verbatim
+between the original design and its abstract-model subcircuits, which is
+what makes the paper's trace-guided refinement work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.cell import Gate, GateOp, Register
+
+
+class NetlistError(Exception):
+    """Raised for structurally invalid netlist constructions."""
+
+
+class Circuit:
+    """A mutable gate-level design.
+
+    Build circuits through :meth:`add_input`, :meth:`add_gate`,
+    :meth:`add_register` or the ``g_*`` convenience constructors, then call
+    :meth:`validate` (checks drivers and combinational acyclicity).
+    """
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self._inputs: Dict[str, None] = {}  # insertion-ordered set
+        self._gates: Dict[str, Gate] = {}
+        self._registers: Dict[str, Register] = {}
+        self._outputs: Dict[str, None] = {}  # declared ports (informational)
+        self._fresh_counter = 0
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        """Return a signal name not yet used in the circuit."""
+        while True:
+            self._fresh_counter += 1
+            name = f"{prefix}${self._fresh_counter}"
+            if not self.is_defined(name):
+                return name
+
+    def add_input(self, name: str) -> str:
+        if self.is_defined(name):
+            raise NetlistError(f"signal {name!r} already defined")
+        self._inputs[name] = None
+        return name
+
+    def add_gate(
+        self,
+        op: GateOp,
+        inputs: Sequence[str],
+        output: Optional[str] = None,
+    ) -> str:
+        if output is None:
+            output = self.fresh_name()
+        if self.is_defined(output):
+            raise NetlistError(f"signal {output!r} already defined")
+        gate = Gate(output=output, op=op, inputs=tuple(inputs))
+        self._gates[output] = gate
+        self._topo_cache = None
+        return output
+
+    def add_register(
+        self,
+        data: str,
+        init: Optional[int] = 0,
+        output: Optional[str] = None,
+    ) -> str:
+        if output is None:
+            output = self.fresh_name("r")
+        if self.is_defined(output):
+            raise NetlistError(f"signal {output!r} already defined")
+        self._registers[output] = Register(output=output, data=data, init=init)
+        self._topo_cache = None
+        return output
+
+    def mark_output(self, name: str) -> str:
+        """Declare ``name`` as a port of interest (purely informational)."""
+        self._outputs[name] = None
+        return name
+
+    # Convenience gate constructors -------------------------------------
+
+    def g_and(self, *inputs: str, output: Optional[str] = None) -> str:
+        if len(inputs) == 1:
+            return self.g_buf(inputs[0], output=output)
+        return self.add_gate(GateOp.AND, inputs, output)
+
+    def g_or(self, *inputs: str, output: Optional[str] = None) -> str:
+        if len(inputs) == 1:
+            return self.g_buf(inputs[0], output=output)
+        return self.add_gate(GateOp.OR, inputs, output)
+
+    def g_not(self, a: str, output: Optional[str] = None) -> str:
+        return self.add_gate(GateOp.NOT, (a,), output)
+
+    def g_xor(self, *inputs: str, output: Optional[str] = None) -> str:
+        return self.add_gate(GateOp.XOR, inputs, output)
+
+    def g_xnor(self, *inputs: str, output: Optional[str] = None) -> str:
+        return self.add_gate(GateOp.XNOR, inputs, output)
+
+    def g_nand(self, *inputs: str, output: Optional[str] = None) -> str:
+        return self.add_gate(GateOp.NAND, inputs, output)
+
+    def g_nor(self, *inputs: str, output: Optional[str] = None) -> str:
+        return self.add_gate(GateOp.NOR, inputs, output)
+
+    def g_buf(self, a: str, output: Optional[str] = None) -> str:
+        return self.add_gate(GateOp.BUF, (a,), output)
+
+    def g_mux(self, sel: str, d0: str, d1: str, output: Optional[str] = None) -> str:
+        """``d1`` when ``sel`` is 1, else ``d0``."""
+        return self.add_gate(GateOp.MUX, (sel, d0, d1), output)
+
+    def g_const(self, value: int, output: Optional[str] = None) -> str:
+        op = GateOp.CONST1 if value else GateOp.CONST0
+        return self.add_gate(op, (), output)
+
+    def g_implies(self, a: str, b: str, output: Optional[str] = None) -> str:
+        """``a -> b`` as ``NOT a OR b``."""
+        return self.g_or(self.g_not(a), b, output=output)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def gates(self) -> Dict[str, Gate]:
+        return self._gates
+
+    @property
+    def registers(self) -> Dict[str, Register]:
+        return self._registers
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def num_registers(self) -> int:
+        return len(self._registers)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    def is_input(self, name: str) -> bool:
+        return name in self._inputs
+
+    def is_gate_output(self, name: str) -> bool:
+        return name in self._gates
+
+    def is_register_output(self, name: str) -> bool:
+        return name in self._registers
+
+    def is_defined(self, name: str) -> bool:
+        return (
+            name in self._inputs
+            or name in self._gates
+            or name in self._registers
+        )
+
+    def driver(self, name: str):
+        """Return the :class:`Gate` or :class:`Register` driving ``name``,
+        or ``None`` for a primary input."""
+        gate = self._gates.get(name)
+        if gate is not None:
+            return gate
+        return self._registers.get(name)
+
+    def signals(self) -> Iterator[str]:
+        """All defined signals: inputs, register outputs, gate outputs."""
+        yield from self._inputs
+        yield from self._registers
+        yield from self._gates
+
+    def state_signals(self) -> List[str]:
+        """Register output names, in insertion order."""
+        return list(self._registers)
+
+    def initial_state(self) -> Dict[str, Optional[int]]:
+        """Map register output -> initial value (``None`` = free)."""
+        return {name: reg.init for name, reg in self._registers.items()}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check referential integrity and combinational acyclicity.
+
+        Raises :class:`NetlistError` on an undefined fanin or a purely
+        combinational cycle (cycles through registers are of course fine).
+        """
+        for gate in self._gates.values():
+            for sig in gate.inputs:
+                if not self.is_defined(sig):
+                    raise NetlistError(
+                        f"gate {gate.output!r} reads undefined signal {sig!r}"
+                    )
+        for reg in self._registers.values():
+            if not self.is_defined(reg.data):
+                raise NetlistError(
+                    f"register {reg.output!r} reads undefined signal "
+                    f"{reg.data!r}"
+                )
+        self.topo_gates()  # raises on combinational cycles
+
+    def topo_gates(self) -> List[Gate]:
+        """Gates in topological (levelized) order: every gate appears after
+        all gates in its combinational fanin.  Cached until mutation."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        order: List[Gate] = []
+        state: Dict[str, int] = {}  # 1 = on stack, 2 = done
+        for root in self._gates:
+            if state.get(root):
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            while stack:
+                sig, idx = stack.pop()
+                gate = self._gates.get(sig)
+                if gate is None:  # input or register output: no dependency
+                    continue
+                if idx == 0:
+                    if state.get(sig) == 2:
+                        continue
+                    if state.get(sig) == 1:
+                        raise NetlistError(
+                            f"combinational cycle through signal {sig!r}"
+                        )
+                    state[sig] = 1
+                if idx < len(gate.inputs):
+                    stack.append((sig, idx + 1))
+                    child = gate.inputs[idx]
+                    if child in self._gates and state.get(child) != 2:
+                        if state.get(child) == 1:
+                            raise NetlistError(
+                                f"combinational cycle through signal {child!r}"
+                            )
+                        stack.append((child, 0))
+                else:
+                    state[sig] = 2
+                    order.append(gate)
+        self._topo_cache = order
+        return order
+
+    def fanout_map(self) -> Dict[str, List[str]]:
+        """Map each signal to the outputs of the cells that read it."""
+        fanouts: Dict[str, List[str]] = {}
+        for gate in self._gates.values():
+            for sig in gate.inputs:
+                fanouts.setdefault(sig, []).append(gate.output)
+        for reg in self._registers.values():
+            fanouts.setdefault(reg.data, []).append(reg.output)
+        return fanouts
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "inputs": self.num_inputs,
+            "gates": self.num_gates,
+            "registers": self.num_registers,
+        }
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        other = Circuit(name or self.name)
+        other._inputs = dict(self._inputs)
+        other._gates = dict(self._gates)
+        other._registers = dict(self._registers)
+        other._outputs = dict(self._outputs)
+        other._fresh_counter = self._fresh_counter
+        return other
+
+    def is_subcircuit_of(self, other: "Circuit") -> bool:
+        """Section 2: ``N = (G', L')`` is a subcircuit of ``M = (G, L)`` if
+        ``G'`` is a subset of ``G`` and ``L'`` a subset of ``L``."""
+        for name, gate in self._gates.items():
+            if other._gates.get(name) != gate:
+                return False
+        for name, reg in self._registers.items():
+            if other._registers.get(name) != reg:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}: {self.num_inputs} inputs, "
+            f"{self.num_gates} gates, {self.num_registers} registers)"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return self.is_defined(name)
+
+
+def union_support(circuit: Circuit, signals: Iterable[str]) -> Set[str]:
+    """Non-gate signals (inputs and register outputs) that the given signals
+    combinationally depend on.  Gate-output signals in ``signals`` are
+    traced back through gates only."""
+    seen: Set[str] = set()
+    support: Set[str] = set()
+    stack = list(signals)
+    while stack:
+        sig = stack.pop()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        gate = circuit.gates.get(sig)
+        if gate is None:
+            support.add(sig)
+        else:
+            stack.extend(gate.inputs)
+    return support

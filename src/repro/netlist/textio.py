@@ -1,0 +1,115 @@
+"""A small human-readable netlist text format.
+
+The format is line-oriented::
+
+    # comment
+    circuit my_design
+    input  a b c
+    reg    q = d init 0        # init is 0, 1 or x (free)
+    gate   y = AND a b
+    gate   m = MUX sel d0 d1
+    output y
+
+Every construct maps one-to-one onto :class:`repro.netlist.Circuit`; the
+round-trip ``circuit_from_text(circuit_to_text(c))`` preserves structure.
+This exists so example designs can live as readable files and so tests can
+state small circuits inline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.cell import GateOp
+from repro.netlist.circuit import Circuit, NetlistError
+
+
+def circuit_to_text(circuit: Circuit) -> str:
+    """Serialize a circuit into the text format."""
+    lines: List[str] = [f"circuit {circuit.name}"]
+    if circuit.inputs:
+        for name in circuit.inputs:
+            lines.append(f"input {name}")
+    for reg in circuit.registers.values():
+        init = "x" if reg.init is None else str(reg.init)
+        lines.append(f"reg {reg.output} = {reg.data} init {init}")
+    for gate in circuit.topo_gates():
+        ins = " ".join(gate.inputs)
+        lines.append(f"gate {gate.output} = {gate.op.value} {ins}".rstrip())
+    for name in circuit.outputs:
+        lines.append(f"output {name}")
+    return "\n".join(lines) + "\n"
+
+
+def circuit_from_text(text: str) -> Circuit:
+    """Parse the text format back into a circuit.
+
+    Raises :class:`NetlistError` on malformed input.
+    """
+    circuit: Optional[Circuit] = None
+    pending_regs = []
+    pending_outputs = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        if kind == "circuit":
+            if len(tokens) != 2:
+                raise NetlistError(f"line {lineno}: circuit needs a name")
+            if circuit is not None:
+                raise NetlistError(f"line {lineno}: duplicate circuit line")
+            circuit = Circuit(tokens[1])
+            continue
+        if circuit is None:
+            circuit = Circuit("top")
+        if kind == "input":
+            for name in tokens[1:]:
+                circuit.add_input(name)
+        elif kind == "reg":
+            # reg <out> = <data> [init <0|1|x>]
+            if len(tokens) < 4 or tokens[2] != "=":
+                raise NetlistError(f"line {lineno}: malformed reg: {line!r}")
+            out, data = tokens[1], tokens[3]
+            init: Optional[int] = 0
+            if len(tokens) > 4:
+                if len(tokens) != 6 or tokens[4] != "init":
+                    raise NetlistError(
+                        f"line {lineno}: malformed reg init: {line!r}"
+                    )
+                if tokens[5] == "x":
+                    init = None
+                elif tokens[5] in ("0", "1"):
+                    init = int(tokens[5])
+                else:
+                    raise NetlistError(
+                        f"line {lineno}: bad init value {tokens[5]!r}"
+                    )
+            pending_regs.append((out, data, init))
+        elif kind == "gate":
+            # gate <out> = <OP> <in>...
+            if len(tokens) < 4 or tokens[2] != "=":
+                raise NetlistError(f"line {lineno}: malformed gate: {line!r}")
+            out, opname = tokens[1], tokens[3]
+            try:
+                op = GateOp(opname)
+            except ValueError:
+                raise NetlistError(
+                    f"line {lineno}: unknown gate op {opname!r}"
+                ) from None
+            circuit.add_gate(op, tokens[4:], out)
+        elif kind == "output":
+            pending_outputs.extend(tokens[1:])
+        else:
+            raise NetlistError(f"line {lineno}: unknown construct {kind!r}")
+    if circuit is None:
+        raise NetlistError("empty netlist text")
+    for out, data, init in pending_regs:
+        circuit.add_register(data, init=init, output=out)
+    for name in pending_outputs:
+        if not circuit.is_defined(name):
+            raise NetlistError(f"output {name!r} is undefined")
+        circuit.mark_output(name)
+    circuit.validate()
+    return circuit

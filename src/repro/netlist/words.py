@@ -1,0 +1,224 @@
+"""Word-level construction helpers.
+
+The benchmark design generators (FIFO controller, processor module, USB
+engine, ...) are written against multi-bit words.  A *word* is simply a list
+of signal names, least-significant bit first.  These helpers synthesize the
+word-level operators down to the primitive gate library at construction
+time, which mirrors what the paper's logic-synthesis front end does.
+
+Registers with feedback need their output before their next-state logic
+exists, so :class:`WordReg` declares registers whose data nets are named up
+front and driven later with :meth:`WordReg.drive`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit, NetlistError
+
+Word = List[str]
+
+
+def word_input(circuit: Circuit, name: str, width: int) -> Word:
+    """Declare a ``width``-bit primary-input word ``name[0..width-1]``."""
+    return [circuit.add_input(f"{name}[{i}]") for i in range(width)]
+
+
+def word_const(circuit: Circuit, value: int, width: int) -> Word:
+    """A constant word; bits are CONST0/CONST1 gates."""
+    return [circuit.g_const((value >> i) & 1) for i in range(width)]
+
+
+class WordReg:
+    """A bank of registers declared before their next-state logic exists.
+
+    ``q`` holds the register outputs, ``d`` the (not yet driven) data net
+    names.  Build the next-state word, then call :meth:`drive` exactly once.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        name: str,
+        width: int,
+        init: int = 0,
+    ) -> None:
+        self._circuit = circuit
+        self.name = name
+        self.q: Word = []
+        self.d: Word = []
+        self._driven = False
+        for i in range(width):
+            data = f"{name}[{i}]$next"
+            self.d.append(data)
+            self.q.append(
+                circuit.add_register(data, init=(init >> i) & 1,
+                                     output=f"{name}[{i}]")
+            )
+
+    @property
+    def width(self) -> int:
+        return len(self.q)
+
+    def drive(self, word: Sequence[str]) -> None:
+        """Bind the next-state word onto the declared data nets."""
+        if self._driven:
+            raise NetlistError(f"word register {self.name!r} driven twice")
+        if len(word) != len(self.d):
+            raise NetlistError(
+                f"word register {self.name!r}: width mismatch "
+                f"({len(word)} vs {len(self.d)})"
+            )
+        for src, dst in zip(word, self.d):
+            self._circuit.g_buf(src, output=dst)
+        self._driven = True
+
+
+def bit_reg(circuit: Circuit, name: str, init: int = 0) -> WordReg:
+    """A single-bit :class:`WordReg` (convenience)."""
+    return WordReg(circuit, name, 1, init=init)
+
+
+# ----------------------------------------------------------------------
+# Bitwise operators
+# ----------------------------------------------------------------------
+
+def _check_same_width(a: Sequence[str], b: Sequence[str]) -> None:
+    if len(a) != len(b):
+        raise NetlistError(f"word width mismatch: {len(a)} vs {len(b)}")
+
+
+def w_not(circuit: Circuit, a: Word) -> Word:
+    return [circuit.g_not(bit) for bit in a]
+
+
+def w_and(circuit: Circuit, a: Word, b: Word) -> Word:
+    _check_same_width(a, b)
+    return [circuit.g_and(x, y) for x, y in zip(a, b)]
+
+
+def w_or(circuit: Circuit, a: Word, b: Word) -> Word:
+    _check_same_width(a, b)
+    return [circuit.g_or(x, y) for x, y in zip(a, b)]
+
+
+def w_xor(circuit: Circuit, a: Word, b: Word) -> Word:
+    _check_same_width(a, b)
+    return [circuit.g_xor(x, y) for x, y in zip(a, b)]
+
+
+def w_mux(circuit: Circuit, sel: str, a: Word, b: Word) -> Word:
+    """Bitwise ``b if sel else a``."""
+    _check_same_width(a, b)
+    return [circuit.g_mux(sel, x, y) for x, y in zip(a, b)]
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+
+def w_add(
+    circuit: Circuit,
+    a: Word,
+    b: Word,
+    cin: Optional[str] = None,
+) -> Tuple[Word, str]:
+    """Ripple-carry adder; returns (sum word, carry out)."""
+    _check_same_width(a, b)
+    carry = cin if cin is not None else circuit.g_const(0)
+    out: Word = []
+    for x, y in zip(a, b):
+        out.append(circuit.g_xor(x, y, carry))
+        carry = circuit.g_or(
+            circuit.g_and(x, y),
+            circuit.g_and(carry, circuit.g_or(x, y)),
+        )
+    return out, carry
+
+
+def w_inc(circuit: Circuit, a: Word) -> Tuple[Word, str]:
+    """Increment by one; returns (sum word, carry out)."""
+    carry = circuit.g_const(1)
+    out: Word = []
+    for x in a:
+        out.append(circuit.g_xor(x, carry))
+        carry = circuit.g_and(x, carry)
+    return out, carry
+
+
+def w_dec(circuit: Circuit, a: Word) -> Tuple[Word, str]:
+    """Decrement by one; returns (difference word, borrow out)."""
+    borrow = circuit.g_const(1)
+    out: Word = []
+    for x in a:
+        out.append(circuit.g_xor(x, borrow))
+        borrow = circuit.g_and(circuit.g_not(x), borrow)
+    return out, borrow
+
+
+# ----------------------------------------------------------------------
+# Comparators and reductions
+# ----------------------------------------------------------------------
+
+def and_reduce(circuit: Circuit, a: Word) -> str:
+    if not a:
+        return circuit.g_const(1)
+    return circuit.g_and(*a) if len(a) > 1 else a[0]
+
+
+def or_reduce(circuit: Circuit, a: Word) -> str:
+    if not a:
+        return circuit.g_const(0)
+    return circuit.g_or(*a) if len(a) > 1 else a[0]
+
+
+def w_eq(circuit: Circuit, a: Word, b: Word) -> str:
+    _check_same_width(a, b)
+    bits = [circuit.g_xnor(x, y) for x, y in zip(a, b)]
+    return and_reduce(circuit, bits)
+
+
+def w_eq_const(circuit: Circuit, a: Word, value: int) -> str:
+    bits: Word = []
+    for i, x in enumerate(a):
+        bits.append(x if (value >> i) & 1 else circuit.g_not(x))
+    return and_reduce(circuit, bits)
+
+
+def w_lt(circuit: Circuit, a: Word, b: Word) -> str:
+    """Unsigned ``a < b`` via a ripple comparator from the LSB up."""
+    _check_same_width(a, b)
+    lt = circuit.g_const(0)
+    for x, y in zip(a, b):
+        x_lt_y = circuit.g_and(circuit.g_not(x), y)
+        x_eq_y = circuit.g_xnor(x, y)
+        lt = circuit.g_or(x_lt_y, circuit.g_and(x_eq_y, lt))
+    return lt
+
+
+def w_ge_const(circuit: Circuit, a: Word, value: int) -> str:
+    """Unsigned ``a >= value`` for a constant threshold."""
+    width = len(a)
+    if value <= 0:
+        return circuit.g_const(1)
+    if value >= (1 << width):
+        return circuit.g_const(0)
+    const = word_const(circuit, value, width)
+    return circuit.g_not(w_lt(circuit, a, const))
+
+
+def decoder(circuit: Circuit, a: Word) -> Word:
+    """Full decoder: output i is high iff the word's value equals i.
+
+    Only intended for small widths (output count is ``2**len(a)``).
+    """
+    if len(a) > 8:
+        raise NetlistError("decoder width > 8 would synthesize >256 outputs")
+    return [w_eq_const(circuit, a, i) for i in range(1 << len(a))]
+
+
+def w_shift_in(circuit: Circuit, a: Word, bit: str) -> Word:
+    """Shift the word left by one (toward the MSB), inserting ``bit`` at
+    the LSB.  Returns a word of the same width (the MSB falls off)."""
+    return [bit] + list(a[:-1])

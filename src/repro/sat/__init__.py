@@ -1,0 +1,19 @@
+"""A self-contained CDCL SAT engine.
+
+The paper's ATPG engine answers, for a gate-level design, a cycle count and
+a sequence of cubes, one of three things: a satisfying trace, "the cubes
+cannot be satisfied", or "some resource limits are exceeded" (Section 2).
+That three-way, budgeted behaviour is exactly a bounded-effort SAT query on
+the unrolled circuit, so this package provides the solver core:
+
+- :mod:`repro.sat.cnf` -- CNF container with named variables and DIMACS I/O,
+- :mod:`repro.sat.solver` -- conflict-driven clause learning with two-watched
+  literals, VSIDS activities, 1-UIP learning with clause minimization,
+  phase saving, Luby restarts, learned-clause reduction, assumptions and
+  conflict/decision budgets.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SatResult, SatStatus, Solver
+
+__all__ = ["CNF", "SatResult", "SatStatus", "Solver"]

@@ -1,0 +1,540 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+MiniSat-style architecture: two-watched-literal propagation, VSIDS
+branching with phase saving, first-UIP conflict analysis with clause
+minimization, Luby restarts and activity-based learned-clause reduction.
+
+The solver is *budgeted*: ``solve`` takes optional conflict and decision
+limits and reports :data:`SatStatus.UNKNOWN` when they are exceeded, which
+is how the ATPG layer reproduces the paper's "some resource limits are
+exceeded" outcome.  It is also *incremental*: clauses may be added between
+``solve`` calls and each call may carry assumption literals.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sat.cnf import CNF
+
+UNASSIGNED = -1
+
+
+class SatStatus(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatResult:
+    """Outcome of one ``solve`` call."""
+
+    status: SatStatus
+    model: Dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SatStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SatStatus.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is SatStatus.UNKNOWN
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+class Solver:
+    """CDCL solver over DIMACS-style integer literals."""
+
+    def __init__(self, cnf: Optional[CNF] = None) -> None:
+        self._nvars = 0
+        self._value: List[int] = [UNASSIGNED]  # 1-indexed by var
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._phase: List[int] = [0]
+        self._activity: List[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._order: List[tuple] = []  # lazy max-heap of (-activity, var)
+        self._watches: Dict[int, List[_Clause]] = {}
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._unsat = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        if cnf is not None:
+            while self._nvars < cnf.num_vars:
+                self.new_var()
+            for clause in cnf.clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        self._nvars += 1
+        self._value.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(0)
+        self._activity.append(0.0)
+        heapq.heappush(self._order, (0.0, self._nvars))
+        return self._nvars
+
+    def _ensure_var(self, var: int) -> None:
+        while self._nvars < var:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a problem clause at decision level 0.
+
+        Returns ``False`` if the formula became trivially unsatisfiable.
+        """
+        if self._trail_lim:
+            raise RuntimeError("add_clause only permitted at decision level 0")
+        seen = set()
+        lits: List[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("literal 0 is invalid")
+            self._ensure_var(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # already satisfied at level 0
+            if value == 0:
+                continue  # falsified at level 0: drop literal
+            if lit not in seen:
+                seen.add(lit)
+                lits.append(lit)
+        if not lits:
+            self._unsat = True
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._unsat = True
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._unsat = True
+                return False
+            return True
+        clause = _Clause(lits)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches.setdefault(clause.lits[0], []).append(clause)
+        self._watches.setdefault(clause.lits[1], []).append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        for lit in clause.lits[:2]:
+            watchers = self._watches.get(lit)
+            if watchers is not None and clause in watchers:
+                watchers.remove(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._value[abs(lit)]
+        if value == UNASSIGNED:
+            return UNASSIGNED
+        return value if lit > 0 else 1 - value
+
+    @property
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        value = self._lit_value(lit)
+        if value != UNASSIGNED:
+            return value == 1
+        var = abs(lit)
+        self._value[var] = 1 if lit > 0 else 0
+        self._level[var] = self._decision_level
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            kept: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            index = 0
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                lits = clause.lits
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == 1:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(lits[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                kept.append(clause)
+                if self._lit_value(first) == 0:
+                    conflict = clause
+                    kept.extend(watchers[index:])
+                    break
+                self._enqueue(first, clause)
+            self._watches[false_lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level <= target_level:
+            return
+        boundary = self._trail_lim[target_level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._phase[var] = self._value[var]
+            self._value[var] = UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._order, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[target_level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._nvars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._value[var] == UNASSIGNED:
+            heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e100:
+            for c in self._learned:
+                c.activity *= 1e-100
+            self._cla_inc *= 1e-100
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple:
+        """First-UIP learning; returns (learned_lits, backtrack_level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._nvars + 1)
+        counter = 0
+        p = 0
+        index = len(self._trail) - 1
+        clause: Optional[_Clause] = conflict
+        while True:
+            if clause is not None:
+                if clause.learned:
+                    self._bump_clause(clause)
+                for q in clause.lits:
+                    if p != 0 and q == -p:
+                        continue
+                    var = abs(q)
+                    if not seen[var] and self._level[var] > 0:
+                        seen[var] = True
+                        self._bump_var(var)
+                        if self._level[var] == self._decision_level:
+                            counter += 1
+                        else:
+                            learned.append(q)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p = self._trail[index]
+            clause = self._reason[abs(p)]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+        learned[0] = -p
+
+        # Clause minimization: drop literals implied by the rest.
+        def redundant(lit: int) -> bool:
+            reason = self._reason[abs(lit)]
+            if reason is None:
+                return False
+            for other in reason.lits:
+                var = abs(other)
+                if var == abs(lit):
+                    continue
+                if not seen[var] and self._level[var] > 0:
+                    return False
+            return True
+
+        minimized = [learned[0]] + [
+            lit for lit in learned[1:] if not redundant(lit)
+        ]
+        if len(minimized) == 1:
+            return minimized, 0
+        # Move a max-level literal into the second watch position.
+        max_index = max(
+            range(1, len(minimized)),
+            key=lambda i: self._level[abs(minimized[i])],
+        )
+        minimized[1], minimized[max_index] = minimized[max_index], minimized[1]
+        return minimized, self._level[abs(minimized[1])]
+
+    # ------------------------------------------------------------------
+    # Learned-clause reduction and restarts
+    # ------------------------------------------------------------------
+
+    def _reduce_learned(self) -> None:
+        locked = {
+            id(self._reason[abs(lit)])
+            for lit in self._trail
+            if self._reason[abs(lit)] is not None
+        }
+        self._learned.sort(key=lambda c: c.activity)
+        cut = len(self._learned) // 2
+        survivors: List[_Clause] = []
+        for i, clause in enumerate(self._learned):
+            if i < cut and id(clause) not in locked and len(clause.lits) > 2:
+                self._detach(clause)
+            else:
+                survivors.append(clause)
+        self._learned = survivors
+
+    @staticmethod
+    def _luby(index: int) -> int:
+        """The Luby restart sequence 1 1 2 1 1 2 4 ... (0-indexed)."""
+        size, seq = 1, 0
+        while size < index + 1:
+            seq += 1
+            size = 2 * size + 1
+        while size - 1 != index:
+            size = (size - 1) // 2
+            seq -= 1
+            index %= size
+        return 1 << seq
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        while self._order:
+            _, var = heapq.heappop(self._order)
+            if self._value[var] == UNASSIGNED:
+                return var
+        return 0
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        max_decisions: Optional[int] = None,
+        max_propagations: Optional[int] = None,
+    ) -> SatResult:
+        """Search for a model consistent with ``assumptions``.
+
+        Returns SAT with a total model, UNSAT, or UNKNOWN when a budget is
+        exhausted.
+        """
+        stats_base = (self.conflicts, self.decisions, self.propagations)
+
+        def result(status: SatStatus, model: Optional[Dict[int, bool]] = None):
+            return SatResult(
+                status=status,
+                model=model or {},
+                conflicts=self.conflicts - stats_base[0],
+                decisions=self.decisions - stats_base[1],
+                propagations=self.propagations - stats_base[2],
+            )
+
+        if self._unsat:
+            return result(SatStatus.UNSAT)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._unsat = True
+            return result(SatStatus.UNSAT)
+
+        assumption_list = list(assumptions)
+        for lit in assumption_list:
+            self._ensure_var(abs(lit))
+
+        restart_round = 0
+        restart_base = 100
+        max_learned = max(1000, (len(self._clauses) // 3) or 1000)
+        conflicts_at_start = self.conflicts
+
+        def out_of_budget() -> bool:
+            if max_conflicts is not None and (
+                self.conflicts - conflicts_at_start >= max_conflicts
+            ):
+                return True
+            if max_decisions is not None and (
+                self.decisions - stats_base[1] >= max_decisions
+            ):
+                return True
+            if max_propagations is not None and (
+                self.propagations - stats_base[2] >= max_propagations
+            ):
+                return True
+            return False
+
+        while True:
+            budget = restart_base * self._luby(restart_round)
+            restart_round += 1
+            status = self._search(
+                budget,
+                assumption_list,
+                max_learned,
+                out_of_budget,
+            )
+            if status is SatStatus.SAT:
+                model = {
+                    var: self._value[var] == 1
+                    for var in range(1, self._nvars + 1)
+                }
+                self._backtrack(0)
+                return result(SatStatus.SAT, model)
+            if status is SatStatus.UNSAT:
+                self._backtrack(0)
+                return result(SatStatus.UNSAT)
+            # Restart or budget exhaustion.
+            if out_of_budget():
+                self._backtrack(0)
+                return result(SatStatus.UNKNOWN)
+            if len(self._learned) > max_learned:
+                max_learned = int(max_learned * 1.3)
+            self._backtrack(0)
+
+    def _search(
+        self,
+        conflict_budget: int,
+        assumptions: List[int],
+        max_learned: int,
+        out_of_budget,
+    ) -> Optional[SatStatus]:
+        """Run until SAT/UNSAT, or return None to signal a restart or a
+        budget stop (``out_of_budget`` is polled per decision so searches
+        that wander without conflicting still terminate)."""
+        local_conflicts = 0
+        decisions_since_check = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                local_conflicts += 1
+                if self._decision_level == 0:
+                    self._unsat = True
+                    return SatStatus.UNSAT
+                if self._decision_level <= len(assumptions):
+                    # Conflict within the assumption prefix.
+                    return SatStatus.UNSAT
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, 0)
+                self._backtrack(max(back_level, 0))
+                if len(learned) == 1:
+                    self._backtrack(0)
+                    if not self._enqueue(learned[0], None):
+                        self._unsat = True
+                        return SatStatus.UNSAT
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._learned.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self._decay_activities()
+                continue
+            if local_conflicts >= conflict_budget:
+                return None  # restart
+            if len(self._learned) > max_learned:
+                self._reduce_learned()
+            # Assumption decisions first.
+            if self._decision_level < len(assumptions):
+                lit = assumptions[self._decision_level]
+                value = self._lit_value(lit)
+                if value == 0:
+                    return SatStatus.UNSAT
+                self._trail_lim.append(len(self._trail))
+                if value == UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var == 0:
+                return SatStatus.SAT
+            decisions_since_check += 1
+            if decisions_since_check >= 64:
+                decisions_since_check = 0
+                if out_of_budget():
+                    return None
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var if self._phase[var] == 1 else -var
+            self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vars": self._nvars,
+            "clauses": len(self._clauses),
+            "learned": len(self._learned),
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Solver(vars={self._nvars}, clauses={len(self._clauses)}, "
+            f"learned={len(self._learned)})"
+        )

@@ -1,0 +1,113 @@
+"""Three-valued (0/1/X) logic.
+
+Values are the integers ``ZERO = 0``, ``ONE = 1`` and ``X = 2``; using small
+ints keeps the simulator's inner loop cheap and lets tables be tuples.
+
+The connectives follow Kleene's strong three-valued logic, which is what
+gate-level X-propagation implements: an AND with a controlling 0 input is 0
+even if other inputs are X, an OR with a controlling 1 is 1, and XOR of
+anything with X is X.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.netlist.cell import GateOp
+
+ZERO = 0
+ONE = 1
+X = 2
+
+_NOT = (ONE, ZERO, X)
+
+# Indexed [a][b].
+_AND = (
+    (ZERO, ZERO, ZERO),
+    (ZERO, ONE, X),
+    (ZERO, X, X),
+)
+_OR = (
+    (ZERO, ONE, X),
+    (ONE, ONE, ONE),
+    (X, ONE, X),
+)
+_XOR = (
+    (ZERO, ONE, X),
+    (ONE, ZERO, X),
+    (X, X, X),
+)
+
+
+def v_not(a: int) -> int:
+    return _NOT[a]
+
+
+def v_and(a: int, b: int) -> int:
+    return _AND[a][b]
+
+
+def v_or(a: int, b: int) -> int:
+    return _OR[a][b]
+
+
+def v_xor(a: int, b: int) -> int:
+    return _XOR[a][b]
+
+
+def v_mux(sel: int, d0: int, d1: int) -> int:
+    """3-valued mux: with an X select, the output is known only when both
+    data inputs agree."""
+    if sel == ZERO:
+        return d0
+    if sel == ONE:
+        return d1
+    return d0 if d0 == d1 else X
+
+
+def eval_gate(op: GateOp, values: Sequence[int]) -> int:
+    """Evaluate one gate over 3-valued inputs."""
+    if op is GateOp.AND or op is GateOp.NAND:
+        acc = ONE
+        for v in values:
+            if v == ZERO:
+                acc = ZERO
+                break
+            acc = _AND[acc][v]
+        return _NOT[acc] if op is GateOp.NAND else acc
+    if op is GateOp.OR or op is GateOp.NOR:
+        acc = ZERO
+        for v in values:
+            if v == ONE:
+                acc = ONE
+                break
+            acc = _OR[acc][v]
+        return _NOT[acc] if op is GateOp.NOR else acc
+    if op is GateOp.NOT:
+        return _NOT[values[0]]
+    if op is GateOp.BUF:
+        return values[0]
+    if op is GateOp.XOR or op is GateOp.XNOR:
+        acc = ZERO
+        for v in values:
+            acc = _XOR[acc][v]
+        return _NOT[acc] if op is GateOp.XNOR else acc
+    if op is GateOp.MUX:
+        return v_mux(values[0], values[1], values[2])
+    if op is GateOp.CONST0:
+        return ZERO
+    if op is GateOp.CONST1:
+        return ONE
+    raise ValueError(f"unknown gate op {op!r}")
+
+
+def to_char(value: int) -> str:
+    """Render a 3-valued value as '0', '1' or 'x'."""
+    return "01x"[value]
+
+
+def from_char(char: str) -> int:
+    try:
+        return {"0": ZERO, "1": ONE, "x": X, "X": X}[char]
+    except KeyError:
+        raise ValueError(f"bad 3-valued literal {char!r}") from None

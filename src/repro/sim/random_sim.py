@@ -1,0 +1,65 @@
+"""Random 2-valued simulation.
+
+Used as a cheap semantic oracle in tests (cross-checking the BDD and ATPG
+engines against concrete runs) and for marking reachable coverage states in
+the coverage-analysis flow (Section 3: "mark the reached coverage states").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.sim.simulator import Simulator, Valuation
+
+
+class RandomSimulator:
+    """Drives a circuit with uniformly random primary-input vectors."""
+
+    def __init__(self, circuit: Circuit, seed: int = 0) -> None:
+        self.circuit = circuit
+        self.sim = Simulator(circuit)
+        self.rng = random.Random(seed)
+
+    def random_inputs(self) -> Valuation:
+        return {name: self.rng.randint(0, 1) for name in self.circuit.inputs}
+
+    def random_run(
+        self,
+        cycles: int,
+        state: Optional[Valuation] = None,
+    ) -> List[Valuation]:
+        """Simulate ``cycles`` random input vectors; returns the per-cycle
+        full valuations.  Free-init registers are randomized."""
+        if state is None:
+            state = self.sim.initial_state(default=0)
+            for name, reg in self.circuit.registers.items():
+                if reg.init is None:
+                    state[name] = self.rng.randint(0, 1)
+        return self.sim.run([self.random_inputs() for _ in range(cycles)], state)
+
+    def sample_reachable_projections(
+        self,
+        signals: Iterable[str],
+        runs: int,
+        cycles: int,
+    ) -> Set[Tuple[int, ...]]:
+        """Run ``runs`` random simulations and collect every valuation of
+        ``signals`` observed at the *start* of each cycle (i.e. in reachable
+        states).  The reset-state projection is included."""
+        sig_list = list(signals)
+        seen: Set[Tuple[int, ...]] = set()
+        for _ in range(runs):
+            state = self.sim.initial_state(default=0)
+            for name, reg in self.circuit.registers.items():
+                if reg.init is None:
+                    state[name] = self.rng.randint(0, 1)
+            for _ in range(cycles):
+                values, state = self.sim.step(state, self.random_inputs())
+                seen.add(self._project(values, sig_list))
+        return seen
+
+    @staticmethod
+    def _project(values: Dict[str, int], signals: List[str]) -> Tuple[int, ...]:
+        return tuple(values[s] for s in signals)

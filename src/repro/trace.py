@@ -1,0 +1,126 @@
+"""Traces and cubes.
+
+Following Section 2: a *cube* is a valuation of some signals, a *state* is
+a valuation of all registers, an *input vector* a valuation of all primary
+inputs, and a trace ``t = a1, v1, a2, v2, ..., ak`` alternates states and
+input vectors with ``a_{i+1}`` the successor of ``a_i`` under ``v_i``.
+
+A :class:`Trace` here stores one (possibly partial) state cube and one
+(possibly partial) input cube per cycle.  Abstract error traces from the
+hybrid engine are partial; concrete traces from sequential ATPG are total
+over their circuit.  Because abstract models preserve signal names, the
+same class describes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+Cube = Dict[str, int]
+
+
+@dataclass
+class Trace:
+    """A sequence of per-cycle state cubes and input cubes."""
+
+    states: List[Cube] = field(default_factory=list)
+    inputs: List[Cube] = field(default_factory=list)
+    circuit_name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.inputs):
+            raise ValueError(
+                "a trace needs one state cube and one input cube per cycle "
+                f"(got {len(self.states)} states, {len(self.inputs)} inputs)"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of cycles."""
+        return len(self.states)
+
+    def append_cycle(self, state: Cube, inputs: Cube) -> None:
+        self.states.append(dict(state))
+        self.inputs.append(dict(inputs))
+
+    def cube_at(self, cycle: int) -> Cube:
+        """State and input assignments of one cycle merged into a cube."""
+        merged = dict(self.states[cycle])
+        merged.update(self.inputs[cycle])
+        return merged
+
+    def constraint_cubes(self) -> List[Cube]:
+        """Per-cycle cubes, the form the ATPG engines consume."""
+        return [self.cube_at(cycle) for cycle in range(self.length)]
+
+    def assigned_signals(self) -> Dict[str, int]:
+        """Map signal -> number of cycles in which the trace assigns it."""
+        counts: Dict[str, int] = {}
+        for cycle in range(self.length):
+            for name in self.cube_at(cycle):
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def restricted_to(self, signals) -> "Trace":
+        """A copy keeping only assignments to ``signals``."""
+        keep = set(signals)
+        return Trace(
+            states=[
+                {k: v for k, v in cube.items() if k in keep}
+                for cube in self.states
+            ],
+            inputs=[
+                {k: v for k, v in cube.items() if k in keep}
+                for cube in self.inputs
+            ],
+            circuit_name=self.circuit_name,
+        )
+
+    def uses_only(self, signals) -> bool:
+        """Does the trace assign nothing outside ``signals``?"""
+        allowed = set(signals)
+        return all(
+            set(self.states[c]) | set(self.inputs[c]) <= allowed
+            for c in range(self.length)
+        )
+
+    def format(self, signals: Optional[List[str]] = None) -> str:
+        """Waveform-style text rendering (one row per signal)."""
+        if signals is None:
+            names = sorted(
+                {n for c in range(self.length) for n in self.cube_at(c)}
+            )
+        else:
+            names = list(signals)
+        width = max((len(n) for n in names), default=5)
+        lines = [
+            f"trace of {self.circuit_name or '<circuit>'} "
+            f"({self.length} cycles)"
+        ]
+        header = " " * (width + 2) + " ".join(
+            f"{c:>2}" for c in range(self.length)
+        )
+        lines.append(header)
+        for name in names:
+            row = []
+            for cycle in range(self.length):
+                value = self.cube_at(cycle).get(name)
+                row.append(" -" if value is None else f"{value:>2}")
+            lines.append(f"{name:<{width}}  " + " ".join(row))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Trace(cycles={self.length}, circuit={self.circuit_name!r})"
+
+
+def cube_conflicts(cube: Mapping[str, int], values: Mapping[str, int]) -> List[str]:
+    """Signals whose 3-valued simulated value conflicts with the cube.
+
+    The unknown value X (2) conflicts with nothing (Section 2.4)."""
+    conflicting = []
+    for name, expected in cube.items():
+        actual = values.get(name, 2)
+        if actual != 2 and actual != expected:
+            conflicting.append(name)
+    return conflicting

@@ -1,0 +1,126 @@
+"""VCD (value change dump) export for traces.
+
+Error traces are only useful if a designer can look at them; this writes
+a :class:`~repro.trace.Trace` as an IEEE-1364-style VCD file that any
+waveform viewer (GTKWave etc.) opens.  Partial cubes are supported: an
+unassigned signal is emitted as ``x``.
+
+Vector-looking signal names (``cnt[3]``) are grouped into VCD vector
+variables so counters render as buses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from repro.trace import Trace
+
+_VECTOR_RE = re.compile(r"^(?P<base>.+)\[(?P<index>\d+)\]$")
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact printable VCD identifier codes."""
+    digits = []
+    while True:
+        digits.append(_ID_CHARS[index % len(_ID_CHARS)])
+        index //= len(_ID_CHARS)
+        if index == 0:
+            break
+    return "".join(digits)
+
+
+def _group_signals(names: Iterable[str]) -> List[Tuple[str, List[str]]]:
+    """Group ``base[i]`` names into vectors; scalars stay alone.
+
+    Returns (display name, [bit signal names LSB-first]) pairs.
+    """
+    vectors: Dict[str, Dict[int, str]] = {}
+    scalars: List[str] = []
+    for name in names:
+        match = _VECTOR_RE.match(name)
+        if match:
+            vectors.setdefault(match.group("base"), {})[
+                int(match.group("index"))
+            ] = name
+        else:
+            scalars.append(name)
+    grouped: List[Tuple[str, List[str]]] = []
+    for base in sorted(vectors):
+        bits = vectors[base]
+        indexes = sorted(bits)
+        if indexes == list(range(len(indexes))) and len(indexes) > 1:
+            grouped.append((base, [bits[i] for i in indexes]))
+        else:  # sparse vector: keep the bits as scalars
+            scalars.extend(bits[i] for i in indexes)
+    for name in sorted(scalars):
+        grouped.append((name, [name]))
+    return grouped
+
+
+def write_vcd(
+    trace: Trace,
+    out: TextIO,
+    signals: Optional[List[str]] = None,
+    timescale: str = "1ns",
+    module: str = "trace",
+) -> None:
+    """Write a trace to an open text file as VCD."""
+    if signals is None:
+        seen = set()
+        signals = []
+        for cycle in range(trace.length):
+            for name in trace.cube_at(cycle):
+                if name not in seen:
+                    seen.add(name)
+                    signals.append(name)
+        signals.sort()
+    groups = _group_signals(signals)
+
+    out.write(f"$timescale {timescale} $end\n")
+    out.write(f"$scope module {module} $end\n")
+    codes: List[Tuple[str, List[str], str]] = []
+    for index, (display, bits) in enumerate(groups):
+        code = _identifier(index)
+        width = len(bits)
+        if width == 1:
+            out.write(f"$var wire 1 {code} {display} $end\n")
+        else:
+            out.write(
+                f"$var wire {width} {code} {display} "
+                f"[{width - 1}:0] $end\n"
+            )
+        codes.append((display, bits, code))
+    out.write("$upscope $end\n$enddefinitions $end\n")
+
+    previous: Dict[str, str] = {}
+    for cycle in range(trace.length):
+        cube = trace.cube_at(cycle)
+        changes: List[str] = []
+        for _display, bits, code in codes:
+            if len(bits) == 1:
+                value = cube.get(bits[0])
+                rendered = "x" if value is None else str(value)
+                line = f"{rendered}{code}"
+            else:
+                rendered = "".join(
+                    "x" if cube.get(bit) is None else str(cube.get(bit))
+                    for bit in reversed(bits)
+                )
+                line = f"b{rendered} {code}"
+            if previous.get(code) != line:
+                previous[code] = line
+                changes.append(line)
+        if changes or cycle == 0:
+            out.write(f"#{cycle}\n")
+            for line in changes:
+                out.write(line + "\n")
+    out.write(f"#{trace.length}\n")
+
+
+def trace_to_vcd(trace: Trace, path: str, **kwargs) -> str:
+    """Write a trace to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        write_vcd(trace, handle, **kwargs)
+    return path

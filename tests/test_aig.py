@@ -1,0 +1,201 @@
+"""Tests for the AIG package: graph, conversion, AIGER round trips."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.aig import (
+    AIG,
+    FALSE_LIT,
+    TRUE_LIT,
+    aig_to_circuit,
+    circuit_to_aig,
+    parse_aiger,
+    strash_circuit,
+    to_aiger,
+)
+from repro.designs import free_counter, toggler
+from repro.designs.fifo import FifoParams, build_fifo
+from repro.netlist import Circuit
+from repro.sim import Simulator
+
+
+class TestGraphBasics:
+    def test_constant_folding(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.land(a, FALSE_LIT) == FALSE_LIT
+        assert aig.land(a, TRUE_LIT) == a
+        assert aig.land(a, a) == a
+        assert aig.land(a, aig.lnot(a)) == FALSE_LIT
+        assert aig.num_ands == 0
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        first = aig.land(a, b)
+        second = aig.land(b, a)
+        assert first == second
+        assert aig.num_ands == 1
+
+    def test_or_de_morgan(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        aig.add_output("y", aig.lor(a, b))
+        for va, vb in itertools.product((0, 1), repeat=2):
+            out = aig.evaluate({"a": va, "b": vb})
+            assert out["y"] == (va | vb)
+
+    def test_xor_mux(self):
+        aig = AIG()
+        a, b, s = (aig.add_input(n) for n in "abs")
+        aig.add_output("x", aig.lxor(a, b))
+        aig.add_output("m", aig.lmux(s, a, b))
+        for va, vb, vs in itertools.product((0, 1), repeat=3):
+            out = aig.evaluate({"a": va, "b": vb, "s": vs})
+            assert out["x"] == (va ^ vb)
+            assert out["m"] == (vb if vs else va)
+
+    def test_latch_lifecycle(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=1)
+        aig.set_latch_next("q", aig.lnot(q))
+        aig.validate()
+        out = aig.evaluate({"q": 1})
+        assert out["q$next"] == 0
+
+    def test_undriven_latch_rejected(self):
+        aig = AIG()
+        aig.add_latch("q")
+        with pytest.raises(ValueError):
+            aig.validate()
+
+    def test_duplicate_names_rejected(self):
+        aig = AIG()
+        aig.add_input("a")
+        with pytest.raises(ValueError):
+            aig.add_input("a")
+        with pytest.raises(ValueError):
+            aig.add_latch("a")
+
+    def test_double_drive_rejected(self):
+        aig = AIG()
+        q = aig.add_latch("q")
+        aig.set_latch_next("q", q)
+        with pytest.raises(ValueError):
+            aig.set_latch_next("q", q)
+
+
+def simulate_equal(circuit_a, circuit_b, cycles=8, seed=0):
+    """Random-simulate both circuits in lockstep and compare registers
+    and marked outputs."""
+    rng = random.Random(seed)
+    sim_a, sim_b = Simulator(circuit_a), Simulator(circuit_b)
+    state_a = sim_a.initial_state(default=0)
+    state_b = sim_b.initial_state(default=0)
+    for _ in range(cycles):
+        inputs = {name: rng.randint(0, 1) for name in circuit_a.inputs}
+        values_a, state_a = sim_a.step(state_a, inputs)
+        values_b, state_b = sim_b.step(state_b, inputs)
+        for reg in circuit_a.registers:
+            assert state_a[reg] == state_b[reg], reg
+        for out in circuit_a.outputs:
+            if circuit_b.is_defined(out):
+                assert values_a[out] == values_b[out], out
+
+
+class TestConversion:
+    def test_counter_round_trip(self):
+        c = free_counter(4)
+        rebuilt = aig_to_circuit(circuit_to_aig(c))
+        simulate_equal(c, rebuilt, cycles=20)
+
+    def test_toggler_round_trip(self):
+        c = toggler()
+        rebuilt = aig_to_circuit(circuit_to_aig(c))
+        simulate_equal(c, rebuilt)
+
+    def test_fifo_round_trip(self):
+        c, _ = build_fifo(FifoParams(depth=4, width=2))
+        rebuilt = aig_to_circuit(circuit_to_aig(c))
+        simulate_equal(c, rebuilt, cycles=30, seed=3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuit_round_trip(self, seed):
+        from tests.test_property_engines import random_circuit
+
+        c = random_circuit(seed)
+        rebuilt = aig_to_circuit(circuit_to_aig(c))
+        simulate_equal(c, rebuilt, cycles=10, seed=seed)
+
+    def test_strash_removes_redundancy(self):
+        c = Circuit("dup")
+        a, b = c.add_input("a"), c.add_input("b")
+        x1 = c.g_and(a, b)
+        x2 = c.g_and(a, b)  # duplicate
+        x3 = c.g_not(c.g_not(x1))  # double negation
+        dead = c.g_or(a, c.g_const(1))  # constant
+        c.add_register(c.g_or(x1, x2, x3), output="q")
+        c.validate()
+        optimized = strash_circuit(c)
+        assert optimized.num_gates < c.num_gates
+        simulate_equal(c, optimized)
+
+    def test_strash_preserves_property_registers(self):
+        c, props = build_fifo(FifoParams(depth=4, width=2))
+        optimized = strash_circuit(c)
+        for prop in props.values():
+            prop.validate_against(optimized)
+        simulate_equal(c, optimized, cycles=20, seed=9)
+
+
+class TestAiger:
+    def test_round_trip_counter(self):
+        aig = circuit_to_aig(free_counter(3))
+        text = to_aiger(aig)
+        parsed = parse_aiger(text)
+        assert len(parsed.latches) == len(aig.latches)
+        assert parsed.num_ands <= aig.num_ands
+        # Behavioural equality through circuits.
+        simulate_equal(aig_to_circuit(aig), aig_to_circuit(parsed))
+
+    def test_header_counts(self):
+        aig = circuit_to_aig(toggler())
+        header = to_aiger(aig).splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == 1  # one input (en)
+        assert int(header[3]) == 1  # one latch
+
+    def test_symbol_table_preserved(self):
+        aig = circuit_to_aig(toggler())
+        parsed = parse_aiger(to_aiger(aig))
+        assert parsed.inputs[0][0] == "en"
+        assert parsed.latches[0].name == "q"
+
+    def test_init_values_encoded(self):
+        c = Circuit("inits")
+        a = c.add_input("a")
+        c.add_register(a, init=1, output="q1")
+        c.add_register(a, init=0, output="q0")
+        c.add_register(a, init=None, output="qx")
+        c.validate()
+        parsed = parse_aiger(to_aiger(circuit_to_aig(c)))
+        inits = {l.name: l.init for l in parsed.latches}
+        assert inits == {"q1": 1, "q0": 0, "qx": None}
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_aiger("not aiger\n")
+        with pytest.raises(ValueError):
+            parse_aiger("aag 1 2\n")
+
+    def test_truncated_file_rejected(self):
+        with pytest.raises(ValueError):
+            parse_aiger("aag 3 2 0 1 1\n2\n")
+
+    def test_unnamed_signals_get_defaults(self):
+        text = "aag 1 1 0 1 0\n2\n2\n"
+        parsed = parse_aiger(text)
+        assert parsed.inputs[0][0] == "i0"
+        assert parsed.outputs[0][0] == "o0"

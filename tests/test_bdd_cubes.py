@@ -1,0 +1,162 @@
+"""Tests for cube construction, enumeration, fattest cubes and counting."""
+
+import pytest
+
+from repro.bdd import BDD
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["a", "b", "c", "d"])
+
+
+class TestCubeConstruction:
+    def test_cube_literal_conjunction(self, bdd):
+        f = bdd.cube({"a": 1, "c": 0})
+        assert f == (bdd.var("a") & ~bdd.var("c"))
+
+    def test_empty_cube_is_true(self, bdd):
+        assert bdd.cube({}).is_true
+
+    def test_cube_truthiness_of_values(self, bdd):
+        assert bdd.cube({"a": 1}) == bdd.cube({"a": True})
+        assert bdd.cube({"a": 0}) == bdd.cube({"a": False})
+
+
+class TestPickCube:
+    def test_pick_none_for_false(self, bdd):
+        assert bdd.pick_cube(bdd.false) is None
+
+    def test_pick_satisfies(self, bdd):
+        f = (bdd.var("a") ^ bdd.var("b")) & bdd.var("c")
+        cube = bdd.pick_cube(f)
+        env = {name: cube.get(name, 0) for name in "abcd"}
+        assert f(env)
+
+    def test_pick_true_empty(self, bdd):
+        assert bdd.pick_cube(bdd.true) == {}
+
+
+class TestShortestCube:
+    def test_fattest_cube_prefers_fewer_literals(self, bdd):
+        a, b, c, d = (bdd.var(n) for n in "abcd")
+        # f = (a&b&c&d) | d : the fattest cube is {d: 1}.
+        f = (a & b & c & d) | d
+        assert bdd.shortest_cube(f) == {"d": 1}
+
+    def test_fattest_cube_of_single_minterm(self, bdd):
+        f = bdd.cube({"a": 1, "b": 0, "c": 1, "d": 0})
+        assert bdd.shortest_cube(f) == {"a": 1, "b": 0, "c": 1, "d": 0}
+
+    def test_fattest_cube_none_for_false(self, bdd):
+        assert bdd.shortest_cube(bdd.false) is None
+
+    def test_fattest_cube_satisfies(self, bdd):
+        a, b, c, d = (bdd.var(n) for n in "abcd")
+        f = (a & ~b) | (c ^ d)
+        cube = bdd.shortest_cube(f)
+        env = {name: cube.get(name, 0) for name in "abcd"}
+        assert f(env)
+        assert len(cube) <= 2
+
+    def test_fattest_cube_minimality_exhaustive(self):
+        """On random functions, no satisfying cube of the BDD is shorter
+        than the reported fattest cube."""
+        import random
+
+        rng = random.Random(3)
+        names = ["a", "b", "c", "d"]
+        for _ in range(30):
+            bdd = BDD(names)
+            f = bdd.false
+            for _ in range(3):
+                cube = {
+                    n: rng.randint(0, 1)
+                    for n in rng.sample(names, rng.randint(1, 4))
+                }
+                f = f | bdd.cube(cube)
+            fattest = bdd.shortest_cube(f)
+            best = min(len(c) for c in bdd.iter_cubes(f))
+            assert len(fattest) == min(len(fattest), best)
+            assert len(fattest) <= best
+
+
+class TestIterCubes:
+    def test_cubes_cover_function(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = a ^ b
+        cover = bdd.false
+        for cube in bdd.iter_cubes(f):
+            cover = cover | bdd.cube(cube)
+        assert cover == f
+
+    def test_cubes_disjoint(self, bdd):
+        f = (bdd.var("a") & bdd.var("b")) | (~bdd.var("a") & bdd.var("c"))
+        cubes = [bdd.cube(c) for c in bdd.iter_cubes(f)]
+        for i, x in enumerate(cubes):
+            for y in cubes[i + 1:]:
+                assert (x & y).is_false
+
+    def test_no_cubes_for_false(self, bdd):
+        assert list(bdd.iter_cubes(bdd.false)) == []
+
+    def test_true_single_empty_cube(self, bdd):
+        assert list(bdd.iter_cubes(bdd.true)) == [{}]
+
+
+class TestSatCount:
+    def test_count_terminals(self, bdd):
+        assert bdd.sat_count(bdd.true) == 16
+        assert bdd.sat_count(bdd.false) == 0
+
+    def test_count_single_var(self, bdd):
+        assert bdd.sat_count(bdd.var("a")) == 8
+        assert bdd.sat_count(bdd.var("d")) == 8
+
+    def test_count_xor(self, bdd):
+        f = bdd.var("a") ^ bdd.var("b") ^ bdd.var("c") ^ bdd.var("d")
+        assert bdd.sat_count(f) == 8
+
+    def test_count_with_extra_vars(self, bdd):
+        assert bdd.sat_count(bdd.var("a"), nvars=6) == 32
+
+    def test_count_nvars_too_small(self, bdd):
+        with pytest.raises(ValueError):
+            bdd.sat_count(bdd.var("a"), nvars=2)
+
+    def test_count_matches_enumeration(self):
+        import itertools
+        import random
+
+        rng = random.Random(11)
+        names = ["a", "b", "c", "d", "e"]
+        bdd = BDD(names)
+        f = bdd.false
+        for _ in range(4):
+            cube = {
+                n: rng.randint(0, 1)
+                for n in rng.sample(names, rng.randint(1, 5))
+            }
+            f = f | bdd.cube(cube)
+        explicit = sum(
+            1
+            for bits in itertools.product((0, 1), repeat=5)
+            if f(dict(zip(names, bits)))
+        )
+        assert bdd.sat_count(f) == explicit
+
+
+class TestProjectStates:
+    def test_projection_enumerates_total_states(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = a & b  # c, d unconstrained
+        states = set(bdd.project_states(f, ["a", "b"]))
+        assert states == {(1, 1)}
+
+    def test_projection_expands_dont_cares(self, bdd):
+        f = bdd.var("a")
+        states = set(bdd.project_states(f, ["a", "b"]))
+        assert states == {(1, 0), (1, 1)}
+
+    def test_projection_of_false_empty(self, bdd):
+        assert set(bdd.project_states(bdd.false, ["a"])) == set()

@@ -1,0 +1,118 @@
+"""Tests for quantification and the AND-EXISTS relational product."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["a", "b", "c", "d"])
+
+
+class TestExists:
+    def test_exists_removes_var(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = a & b
+        assert bdd.exists(["a"], f) == b
+
+    def test_exists_or_of_cofactors(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = (a & b) | (~a & ~b)
+        assert bdd.exists(["a"], f).is_true
+
+    def test_exists_multiple(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        f = a & b & c
+        assert bdd.exists(["a", "c"], f) == b
+
+    def test_exists_irrelevant(self, bdd):
+        a = bdd.var("a")
+        assert bdd.exists(["d"], a) == a
+
+    def test_exists_empty_set(self, bdd):
+        f = bdd.var("a") ^ bdd.var("b")
+        assert bdd.exists([], f) == f
+
+    def test_exists_false(self, bdd):
+        assert bdd.exists(["a"], bdd.false) == bdd.false
+
+
+class TestForall:
+    def test_forall_and(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = a | b
+        assert bdd.forall(["a"], f) == b
+
+    def test_forall_tautology(self, bdd):
+        a = bdd.var("a")
+        assert bdd.forall(["a"], a | ~a).is_true
+        assert bdd.forall(["a"], a) == bdd.false
+
+    def test_duality(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        f = (a & b) | (c ^ a)
+        assert bdd.forall(["b"], f) == ~bdd.exists(["b"], ~f)
+
+
+class TestAndExists:
+    def test_matches_unfused_computation(self, bdd):
+        a, b, c, d = (bdd.var(n) for n in "abcd")
+        f = (a & b) | (c & ~d)
+        g = (b ^ c) | (a & d)
+        fused = bdd.and_exists(f, g, ["b", "d"])
+        plain = bdd.exists(["b", "d"], f & g)
+        assert fused == plain
+
+    def test_no_quantified_vars(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.and_exists(a, b, []) == (a & b)
+
+    def test_disjoint_functions(self, bdd):
+        a, d = bdd.var("a"), bdd.var("d")
+        assert bdd.and_exists(a, d, ["d"]) == a
+        assert bdd.and_exists(a, d, ["a"]) == d
+        assert bdd.and_exists(a, d, ["a", "d"]).is_true
+
+    def test_contradiction(self, bdd):
+        a = bdd.var("a")
+        assert bdd.and_exists(a, ~a, ["a"]) == bdd.false
+
+    def test_exhaustive_small(self):
+        """Cross-check and_exists against explicit quantification on many
+        random function pairs over 4 variables."""
+        import random
+
+        rng = random.Random(7)
+        names = ["a", "b", "c", "d"]
+        for _ in range(40):
+            bdd = BDD(names)
+            lits = [bdd.var(n) for n in names]
+
+            def random_fn():
+                f = bdd.false
+                for _ in range(4):
+                    term = bdd.true
+                    for lit in rng.sample(lits, rng.randint(1, 3)):
+                        term = term & (lit if rng.random() < 0.5 else ~lit)
+                    f = f | term
+                return f
+
+            f, g = random_fn(), random_fn()
+            qvars = rng.sample(names, rng.randint(0, 4))
+            assert bdd.and_exists(f, g, qvars) == bdd.exists(qvars, f & g)
+
+
+class TestQuantifierSemantics:
+    def test_exists_truth_table(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        f = (a ^ b) & (b | c)
+        g = bdd.exists(["b"], f)
+        for env in (dict(zip("ac", bits)) for bits in
+                    itertools.product((0, 1), repeat=2)):
+            expected = any(
+                (env["a"] ^ v) and (v or env["c"]) for v in (0, 1)
+            )
+            assert g({**env, "b": 0, "d": 0}) == bool(expected)

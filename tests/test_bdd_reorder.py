@@ -1,0 +1,215 @@
+"""Tests for adjacent swaps, group sifting and explicit ordering.
+
+Every reorder test checks the *semantic preservation* invariant: a
+function's truth table must be unchanged by any sequence of swaps, and
+equal functions must keep equal node ids (canonicity survives)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bdd.reorder import ReorderError
+
+
+def truth_table(f, names):
+    return tuple(
+        f(dict(zip(names, bits)))
+        for bits in itertools.product((0, 1), repeat=len(names))
+    )
+
+
+def build_random(bdd, names, rng, terms=5):
+    f = bdd.false
+    for _ in range(terms):
+        term = bdd.true
+        for name in rng.sample(names, rng.randint(1, len(names))):
+            lit = bdd.var(name)
+            term = term & (lit if rng.random() < 0.5 else ~lit)
+        f = f | term
+    return f
+
+
+class TestAdjacentSwap:
+    def test_single_swap_preserves_semantics(self):
+        names = ["a", "b", "c"]
+        bdd = BDD(names)
+        f = (bdd.var("a") & bdd.var("b")) | bdd.var("c")
+        before = truth_table(f, names)
+        bdd._begin_reorder()
+        bdd._swap_adjacent(0)
+        bdd._end_reorder()
+        assert bdd.var_order() == ["b", "a", "c"]
+        assert truth_table(f, names) == before
+
+    def test_many_random_swaps_preserve_semantics(self):
+        rng = random.Random(5)
+        names = [f"v{i}" for i in range(6)]
+        bdd = BDD(names)
+        funcs = [build_random(bdd, names, rng) for _ in range(4)]
+        tables = [truth_table(f, names) for f in funcs]
+        bdd._begin_reorder()
+        for _ in range(60):
+            bdd._swap_adjacent(rng.randrange(len(names) - 1))
+        bdd._end_reorder()
+        for f, table in zip(funcs, tables):
+            assert truth_table(f, names) == table
+
+    def test_swap_preserves_canonicity(self):
+        rng = random.Random(9)
+        names = [f"v{i}" for i in range(5)]
+        bdd = BDD(names)
+        f = build_random(bdd, names, rng)
+        g = build_random(bdd, names, rng)
+        bdd._begin_reorder()
+        for _ in range(30):
+            bdd._swap_adjacent(rng.randrange(len(names) - 1))
+        bdd._end_reorder()
+        # Rebuilding an equal function must find the same node.
+        h = f | g
+        h2 = g | f
+        assert h == h2
+        # A fresh build of f's table in the *new* order must equal f.
+        rebuilt = bdd.false
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            if f(dict(zip(names, bits))):
+                rebuilt = rebuilt | bdd.cube(dict(zip(names, bits)))
+        assert rebuilt == f
+
+    def test_swap_frees_dead_nodes(self):
+        names = ["a", "b", "c", "d"]
+        bdd = BDD(names)
+        f = build_random(bdd, names, random.Random(2), terms=6)
+        bdd._begin_reorder()
+        for _ in range(20):
+            bdd._swap_adjacent(random.Random(4).randrange(3))
+        bdd._end_reorder()
+        # After a full GC nothing more should be reclaimable than what the
+        # swap bookkeeping left (i.e. table sizes stay consistent).
+        table_nodes = bdd.total_nodes()
+        bdd.collect_garbage()
+        assert bdd.total_nodes() == table_nodes
+
+    def test_swap_outside_session_rejected(self):
+        bdd = BDD(["a", "b"])
+        with pytest.raises(ReorderError):
+            bdd._swap_adjacent(0)
+
+
+class TestSetOrder:
+    def test_set_order_applies(self):
+        names = ["a", "b", "c", "d"]
+        bdd = BDD(names)
+        f = build_random(bdd, names, random.Random(1))
+        before = truth_table(f, names)
+        bdd.set_order(["d", "b", "a", "c"])
+        assert bdd.var_order() == ["d", "b", "a", "c"]
+        assert truth_table(f, names) == before
+
+    def test_set_order_requires_permutation(self):
+        bdd = BDD(["a", "b"])
+        with pytest.raises(ReorderError):
+            bdd.set_order(["a"])
+        with pytest.raises(ReorderError):
+            bdd.set_order(["a", "z"])
+
+    def test_set_order_respects_groups(self):
+        bdd = BDD(["a", "b", "c"])
+        bdd.group(["a", "b"])
+        with pytest.raises(ReorderError):
+            bdd.set_order(["a", "c", "b"])
+        bdd.set_order(["c", "a", "b"])
+        assert bdd.var_order() == ["c", "a", "b"]
+
+
+class TestGroups:
+    def test_group_fuses_contiguous(self):
+        bdd = BDD(["a", "b", "c"])
+        bdd.group(["a", "b"])
+        assert bdd.groups() == [["a", "b"], ["c"]]
+
+    def test_group_noncontiguous_rejected(self):
+        bdd = BDD(["a", "b", "c"])
+        with pytest.raises(ReorderError):
+            bdd.group(["a", "c"])
+
+    def test_grouped_vars_move_together(self):
+        names = ["a", "b", "c", "d"]
+        bdd = BDD(names)
+        bdd.group(["a", "b"])
+        f = build_random(bdd, names, random.Random(8))
+        before = truth_table(f, names)
+        bdd.set_order(["c", "d", "a", "b"])
+        order = bdd.var_order()
+        assert order.index("b") == order.index("a") + 1
+        assert truth_table(f, names) == before
+
+
+class TestSifting:
+    def test_sift_preserves_semantics(self):
+        rng = random.Random(13)
+        names = [f"v{i}" for i in range(8)]
+        bdd = BDD(names)
+        funcs = [build_random(bdd, names, rng, terms=6) for _ in range(3)]
+        tables = [truth_table(f, names) for f in funcs]
+        bdd.sift()
+        for f, table in zip(funcs, tables):
+            assert truth_table(f, names) == table
+
+    def test_sift_shrinks_bad_order(self):
+        """The classic 2^n vs 3n example: f = x0&y0 | x1&y1 | x2&y2 with
+        all x's before all y's is exponential; sifting must shrink it."""
+        n = 5
+        names = [f"x{i}" for i in range(n)] + [f"y{i}" for i in range(n)]
+        bdd = BDD(names)
+        f = bdd.false
+        for i in range(n):
+            f = f | (bdd.var(f"x{i}") & bdd.var(f"y{i}"))
+        before = f.size()
+        bdd.sift()
+        after = f.size()
+        assert after < before
+        assert after <= 3 * n + 5
+
+    def test_sift_with_groups_preserves_pairing(self):
+        n = 4
+        names = []
+        for i in range(n):
+            names.extend([f"c{i}", f"n{i}"])
+        bdd = BDD(names)
+        for i in range(n):
+            bdd.group([f"c{i}", f"n{i}"])
+        f = bdd.false
+        for i in range(n):
+            f = f | (bdd.var(f"c{i}") ^ bdd.var(f"n{i}"))
+        table = truth_table(f, names)
+        bdd.sift()
+        order = bdd.var_order()
+        for i in range(n):
+            assert order.index(f"n{i}") == order.index(f"c{i}") + 1
+        assert truth_table(f, names) == table
+
+    def test_maybe_sift_respects_flag(self):
+        bdd = BDD(["a", "b"])
+        assert not bdd.maybe_sift()
+        bdd.auto_reorder = True
+        bdd._last_reorder_size = 1
+        f = (bdd.var("a") ^ bdd.var("b"))
+        assert bdd.maybe_sift(growth_trigger=1.0)
+
+    def test_sift_empty_manager(self):
+        bdd = BDD()
+        assert bdd.sift() >= 2
+
+    def test_sift_then_operate(self):
+        rng = random.Random(21)
+        names = [f"v{i}" for i in range(6)]
+        bdd = BDD(names)
+        f = build_random(bdd, names, rng)
+        g = build_random(bdd, names, rng)
+        bdd.sift()
+        combined = f & g
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            env = dict(zip(names, bits))
+            assert combined(env) == (f(env) and g(env))

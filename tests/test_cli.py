@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_target, main
+from repro.designs import one_hot_ring, toggler
+from repro.designs.counters import saturating_counter, shift_chain
+from repro.netlist import circuit_to_text
+
+
+@pytest.fixture
+def true_netlist(tmp_path):
+    circuit, prop = saturating_counter(3, ceiling=5)
+    path = tmp_path / "sat.net"
+    path.write_text(circuit_to_text(circuit))
+    return str(path), prop.signals()[0]
+
+
+@pytest.fixture
+def false_netlist(tmp_path):
+    circuit, prop = shift_chain(3, source_constant=1)
+    path = tmp_path / "chain.net"
+    path.write_text(circuit_to_text(circuit))
+    return str(path), prop.signals()[0]
+
+
+class TestParseTarget:
+    def test_single(self):
+        assert _parse_target("a=1") == {"a": 1}
+
+    def test_multiple(self):
+        assert _parse_target("a=1, b=0") == {"a": 1, "b": 0}
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            _parse_target("a=2")
+
+    def test_missing_equals(self):
+        with pytest.raises(ValueError):
+            _parse_target("a")
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            _parse_target(" , ")
+
+
+class TestStats:
+    def test_stats_output(self, true_netlist, capsys):
+        path, _ = true_netlist
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "registers:" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent.net"]) == 3
+
+
+class TestVerify:
+    def test_verified_exit_zero(self, true_netlist, capsys):
+        path, wd = true_netlist
+        assert main(["verify", path, "--watchdog", wd]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_falsified_exit_one(self, false_netlist, capsys):
+        path, wd = false_netlist
+        assert main(["verify", path, "--watchdog", wd]) == 1
+        out = capsys.readouterr().out
+        assert "falsified" in out
+        assert "trace" in out  # waveform printed
+
+    def test_target_cube(self, false_netlist):
+        path, wd = false_netlist
+        assert main(["verify", path, "--target", f"{wd}=1"]) == 1
+
+    def test_vcd_output(self, false_netlist, tmp_path, capsys):
+        path, wd = false_netlist
+        vcd_path = str(tmp_path / "err.vcd")
+        assert main(["verify", path, "--watchdog", wd, "--vcd", vcd_path]) == 1
+        with open(vcd_path) as handle:
+            assert "$enddefinitions" in handle.read()
+
+    def test_smc_engine(self, true_netlist, capsys):
+        path, wd = true_netlist
+        assert main(["verify", path, "--watchdog", wd, "--engine", "smc"]) == 0
+        assert "SMC" in capsys.readouterr().out
+
+    def test_verbose_logs(self, true_netlist, capsys):
+        path, wd = true_netlist
+        main(["verify", path, "--watchdog", wd, "--verbose"])
+        assert "[iter" in capsys.readouterr().out
+
+
+class TestCoverage:
+    def test_rfn_coverage(self, tmp_path, capsys):
+        circuit, signals = one_hot_ring(3)
+        path = tmp_path / "ring.net"
+        path.write_text(circuit_to_text(circuit))
+        code = main(
+            ["coverage", str(path), "--signals", ",".join(signals)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5/8 unreachable" in out
+        assert "111" in out  # listed unreachable state
+
+    def test_bfs_coverage(self, tmp_path, capsys):
+        circuit, signals = one_hot_ring(3)
+        path = tmp_path / "ring.net"
+        path.write_text(circuit_to_text(circuit))
+        code = main(
+            ["coverage", str(path), "--signals", ",".join(signals),
+             "--method", "bfs", "--bfs-k", "8"]
+        )
+        assert code == 0
+        assert "5/8" in capsys.readouterr().out
+
+    def test_no_signals(self, tmp_path, capsys):
+        circuit, _ = one_hot_ring(3)
+        path = tmp_path / "ring.net"
+        path.write_text(circuit_to_text(circuit))
+        assert main(["coverage", str(path), "--signals", " "]) == 3
+
+
+class TestSimulate:
+    def test_waveform_printed(self, tmp_path, capsys):
+        path = tmp_path / "tog.net"
+        path.write_text(circuit_to_text(toggler()))
+        assert main(["simulate", str(path), "--cycles", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "trace of" in out
+
+    def test_signal_selection(self, tmp_path, capsys):
+        path = tmp_path / "tog.net"
+        path.write_text(circuit_to_text(toggler()))
+        assert main(
+            ["simulate", str(path), "--signals", "q", "--cycles", "4"]
+        ) == 0
+        assert "q" in capsys.readouterr().out

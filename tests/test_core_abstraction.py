@@ -1,0 +1,91 @@
+"""Tests for abstract-model construction and refinement bookkeeping."""
+
+import pytest
+
+from repro.core.abstraction import Abstraction
+from repro.core.property import UnreachabilityProperty, watchdog_property
+from repro.netlist import Circuit
+
+
+def chain_design(depth=4):
+    """const0 -> r1 -> r2 -> ... -> r<depth>, watchdog on the last tap."""
+    c = Circuit("chain")
+    zero = c.g_const(0, output="zero")
+    prev = c.add_register(zero, output="r1")
+    for i in range(2, depth + 1):
+        prev = c.add_register(prev, output=f"r{i}")
+    prop = watchdog_property(c, prev, "tap_high")
+    c.validate()
+    return c, prop
+
+
+class TestInitialAbstraction:
+    def test_initial_keeps_property_registers(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        wd = prop.signals()[0]
+        assert abstraction.kept_registers == {wd}
+        assert abstraction.model.num_registers == 1
+
+    def test_initial_model_is_subcircuit(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        assert abstraction.model.is_subcircuit_of(c)
+
+    def test_pseudo_inputs_are_dropped_registers(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        assert abstraction.pseudo_input_registers() == ["r4"]
+        assert abstraction.true_primary_inputs() == []
+
+    def test_validates_property(self):
+        c = Circuit()
+        c.add_input("a")
+        prop = UnreachabilityProperty("p", {"a": 1})
+        with pytest.raises(Exception):
+            Abstraction.initial(c, prop)
+
+
+class TestRefine:
+    def test_refine_adds_register_and_cone(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        added = abstraction.refine(["r4"])
+        assert added == 1
+        assert "r4" in abstraction.model.registers
+        assert abstraction.pseudo_input_registers() == ["r3"]
+
+    def test_refine_is_idempotent(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        abstraction.refine(["r4"])
+        assert abstraction.refine(["r4"]) == 0
+
+    def test_refine_rejects_non_register(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        with pytest.raises(ValueError):
+            abstraction.refine(["zero"])
+
+    def test_with_registers_does_not_mutate(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        candidate = abstraction.with_registers(["r4", "r3"])
+        assert candidate.num_registers == 3
+        assert abstraction.model.num_registers == 1
+
+    def test_full_refinement_recovers_coi(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        remaining = abstraction.remaining_coi_registers()
+        assert remaining == {"r1", "r2", "r3", "r4"}
+        abstraction.refine(remaining)
+        assert abstraction.remaining_coi_registers() == set()
+        assert abstraction.model.inputs == []
+
+    def test_stats(self):
+        c, prop = chain_design()
+        abstraction = Abstraction.initial(c, prop)
+        stats = abstraction.stats()
+        assert stats["kept_registers"] == 1
+        assert stats["pseudo_inputs"] == 1

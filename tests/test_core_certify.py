@@ -1,0 +1,142 @@
+"""Tests for SAT-based certification of verification results."""
+
+import pytest
+
+from repro.core import RFN, RfnConfig, RfnStatus, watchdog_property
+from repro.core.certify import (
+    Certificate,
+    CertificateStatus,
+    certify_error_trace,
+    certify_invariant,
+)
+from repro.trace import Trace
+from repro.mc import ImageComputer, SymbolicEncoding, forward_reach
+from repro.netlist import Circuit
+from repro.netlist.words import WordReg, w_eq_const, w_inc
+
+
+def saturating_counter(width=3, ceiling=5):
+    c = Circuit("sat")
+    cnt = WordReg(c, "cnt", width, init=0)
+    nxt, _ = w_inc(c, cnt.q)
+    stop = w_eq_const(c, cnt.q, ceiling)
+    cnt.drive([c.g_mux(stop, n, q) for n, q in zip(nxt, cnt.q)])
+    bad = w_eq_const(c, cnt.q, ceiling + 2)
+    prop = watchdog_property(c, bad, "overflow")
+    c.validate()
+    return c, prop
+
+
+def exact_invariant(circuit):
+    encoding = SymbolicEncoding(circuit)
+    images = ImageComputer(encoding)
+    reach = forward_reach(images, encoding.initial_states())
+    assert reach.fixpoint_reached
+    return encoding, reach.reached
+
+
+class TestInvariantCertification:
+    def test_exact_fixpoint_certifies(self):
+        circuit, prop = saturating_counter()
+        encoding, invariant = exact_invariant(circuit)
+        cert = certify_invariant(circuit, prop, invariant, encoding)
+        assert cert.ok
+        assert cert.obligations["initiation"] == "unsat (holds)"
+        assert cert.obligations["consecution"] == "unsat (holds)"
+        assert cert.obligations["safety"] == "unsat (holds)"
+
+    def test_true_invariant_fails_safety(self):
+        """TRUE is inductive but not safe: the certificate must fail."""
+        circuit, prop = saturating_counter()
+        encoding, _ = exact_invariant(circuit)
+        cert = certify_invariant(circuit, prop, encoding.bdd.true, encoding)
+        assert cert.status is CertificateStatus.FAILED
+        assert "counterexample" in cert.obligations["safety"]
+
+    def test_non_inductive_invariant_fails_consecution(self):
+        """cnt == 0 satisfies initiation and safety but is not closed."""
+        circuit, prop = saturating_counter()
+        encoding, _ = exact_invariant(circuit)
+        frozen = encoding.bdd.cube(
+            {f"cnt[{i}]": 0 for i in range(3)}
+        )
+        cert = certify_invariant(circuit, prop, frozen, encoding)
+        assert cert.status is CertificateStatus.FAILED
+        assert "counterexample" in cert.obligations["consecution"]
+
+    def test_wrong_init_fails_initiation(self):
+        circuit, prop = saturating_counter()
+        encoding, _ = exact_invariant(circuit)
+        not_init = encoding.bdd.cube({"cnt[0]": 1})
+        cert = certify_invariant(circuit, prop, not_init, encoding)
+        assert cert.status is CertificateStatus.FAILED
+        assert "counterexample" in cert.obligations["initiation"]
+
+    def test_false_invariant_certifiable_only_without_initial_states(self):
+        """FALSE fails initiation (the initial state is outside it)."""
+        circuit, prop = saturating_counter()
+        encoding, _ = exact_invariant(circuit)
+        cert = certify_invariant(circuit, prop, encoding.bdd.false, encoding)
+        assert cert.status is CertificateStatus.FAILED
+
+
+class TestRfnIntegration:
+    def test_rfn_verified_result_certifies(self):
+        circuit, prop = saturating_counter()
+        result = RFN(circuit, prop).run()
+        assert result.status is RfnStatus.VERIFIED
+        assert result.invariant is not None
+        cert = certify_invariant(
+            result.abstract_model,
+            prop,
+            result.invariant,
+            result.invariant_encoding,
+        )
+        assert cert.ok
+
+    def test_invariant_also_certifies_on_original_design(self):
+        """Subcircuit soundness, checked mechanically: the abstract
+        invariant is inductive on the full design too."""
+        circuit, prop = saturating_counter()
+        result = RFN(circuit, prop).run()
+        cert = certify_invariant(
+            circuit,  # the original design, not the abstract model
+            prop,
+            result.invariant,
+            result.invariant_encoding,
+        )
+        assert cert.ok
+
+    def test_rfn_falsified_trace_certifies(self):
+        c = Circuit("cnt")
+        cnt = WordReg(c, "cnt", 3, init=0)
+        nxt, _ = w_inc(c, cnt.q)
+        cnt.drive(nxt)
+        prop = watchdog_property(c, w_eq_const(c, cnt.q, 5), "hit5")
+        c.validate()
+        result = RFN(c, prop).run()
+        assert result.status is RfnStatus.FALSIFIED
+        cert = certify_error_trace(c, prop, result.trace)
+        assert cert.ok
+        assert "reached at cycle" in cert.obligations["bad-state"]
+
+
+class TestTraceCertification:
+    def test_bogus_trace_fails(self):
+        circuit, prop = saturating_counter()
+        bogus = Trace(
+            states=[{name: 0 for name in circuit.registers}],
+            inputs=[{}],
+        )
+        cert = certify_error_trace(circuit, prop, bogus)
+        assert cert.status is CertificateStatus.FAILED
+        assert "never reached" in cert.obligations["bad-state"]
+
+    def test_illegal_initial_state_detected(self):
+        circuit, prop = saturating_counter()
+        state = {name: 0 for name in circuit.registers}
+        state["cnt[0]"] = 1  # init says 0
+        bogus = Trace(states=[state], inputs=[{}])
+        cert = certify_error_trace(circuit, prop, bogus)
+        assert cert.status is CertificateStatus.FAILED
+        assert "FAILS" in cert.obligations["initial-state"]

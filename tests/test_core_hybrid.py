@@ -1,0 +1,160 @@
+"""Tests for the BDD-ATPG hybrid abstract-error-trace engine."""
+
+import pytest
+
+from repro.core.abstraction import Abstraction
+from repro.core.hybrid import HybridTraceEngine
+from repro.core.property import watchdog_property
+from repro.core.refine import trace_satisfiable_on
+from repro.atpg.engine import AtpgOutcome
+from repro.mc import ImageComputer, SymbolicEncoding, forward_reach
+from repro.mc.reach import ReachOutcome
+from repro.netlist import Circuit
+from repro.netlist.words import WordReg, w_eq_const, w_inc, word_input
+from repro.sim import Simulator
+
+
+def counter_with_watchdog(width=3, bad_value=5):
+    c = Circuit("cnt")
+    cnt = WordReg(c, "cnt", width, init=0)
+    nxt, _ = w_inc(c, cnt.q)
+    cnt.drive(nxt)
+    bad = w_eq_const(c, cnt.q, bad_value)
+    prop = watchdog_property(c, bad, "cnt_bad")
+    c.validate()
+    return c, prop
+
+
+def wide_input_design():
+    """A register fed through a wide AND-OR cone of many inputs: the
+    min-cut design has far fewer inputs than the model, and pre-image
+    cubes assign internal cut signals (min-cut cubes)."""
+    c = Circuit("wide")
+    ins = word_input(c, "i", 12)
+    level = ins
+    while len(level) > 1:
+        paired = [
+            c.g_and(level[k], level[k + 1])
+            for k in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    hit = c.add_register(level[0], init=0, output="hit")
+    prop = watchdog_property(c, "hit", "hit_high")
+    c.validate()
+    return c, prop
+
+
+def run_reach(model, prop):
+    encoding = SymbolicEncoding(model)
+    images = ImageComputer(encoding)
+    target = encoding.state_cube(dict(prop.target))
+    reach = forward_reach(images, encoding.initial_states(), target=target)
+    return encoding, images, target, reach
+
+
+class TestHybridOnFullModels:
+    def test_counter_trace_has_exact_length(self):
+        c, prop = counter_with_watchdog()
+        reach_model = c  # use the full design as its own "abstract model"
+        encoding, images, target, reach = run_reach(reach_model, prop)
+        assert reach.outcome is ReachOutcome.TARGET_HIT
+        engine = HybridTraceEngine(reach_model, encoding, images)
+        trace = engine.build_trace(reach, target)
+        assert trace.length == reach.hit_ring + 1
+        # cnt==5 at cycle 5, watchdog at cycle 6.
+        assert trace.length == 7
+
+    def test_counter_trace_is_satisfiable_on_model(self):
+        c, prop = counter_with_watchdog()
+        encoding, images, target, reach = run_reach(c, prop)
+        engine = HybridTraceEngine(c, encoding, images)
+        trace = engine.build_trace(reach, target)
+        assert trace_satisfiable_on(c, trace) is AtpgOutcome.TRACE_FOUND
+
+    def test_counter_trace_final_state_is_bad(self):
+        c, prop = counter_with_watchdog()
+        encoding, images, target, reach = run_reach(c, prop)
+        engine = HybridTraceEngine(c, encoding, images)
+        trace = engine.build_trace(reach, target)
+        wd = prop.signals()[0]
+        assert trace.states[-1].get(wd) == 1
+
+    def test_requires_target_hit(self):
+        c, prop = counter_with_watchdog()
+        encoding, images, target, _ = run_reach(c, prop)
+        from repro.mc.reach import ReachResult
+
+        fake = ReachResult(
+            outcome=ReachOutcome.FIXPOINT,
+            reached=encoding.bdd.true,
+        )
+        engine = HybridTraceEngine(c, encoding, images)
+        with pytest.raises(ValueError):
+            engine.build_trace(fake, target)
+
+
+class TestHybridOnAbstractModels:
+    def test_abstract_model_trace(self):
+        """On the initial abstraction of the counter design, the watchdog's
+        feed is a pseudo-input: the hybrid engine must produce a 2-cycle
+        trace assigning it."""
+        c, prop = counter_with_watchdog()
+        abstraction = Abstraction.initial(c, prop)
+        model = abstraction.model
+        encoding, images, target, reach = run_reach(model, prop)
+        assert reach.outcome is ReachOutcome.TARGET_HIT
+        engine = HybridTraceEngine(model, encoding, images)
+        trace = engine.build_trace(reach, target)
+        assert trace.length == reach.hit_ring + 1
+        assert trace_satisfiable_on(model, trace) is AtpgOutcome.TRACE_FOUND
+
+    def test_mincut_reduces_inputs_on_wide_cone(self):
+        c, prop = wide_input_design()
+        abstraction = Abstraction.initial(c, prop)
+        abstraction.refine(["hit"])
+        model = abstraction.model
+        encoding, images, target, reach = run_reach(model, prop)
+        engine = HybridTraceEngine(model, encoding, images)
+        assert engine.stats.mincut_inputs < engine.stats.model_inputs
+        trace = engine.build_trace(reach, target)
+        assert trace_satisfiable_on(model, trace) is AtpgOutcome.TRACE_FOUND
+
+    def test_min_cut_cube_path_exercises_atpg(self):
+        """The wide-cone design forces min-cut cubes (the cut signal is an
+        internal wire), so combinational ATPG justification must run."""
+        c, prop = wide_input_design()
+        abstraction = Abstraction.initial(c, prop)
+        abstraction.refine(["hit"])
+        model = abstraction.model
+        encoding, images, target, reach = run_reach(model, prop)
+        engine = HybridTraceEngine(model, encoding, images)
+        trace = engine.build_trace(reach, target)
+        assert engine.stats.atpg_calls + engine.stats.direct_no_cut > 0
+        # The trace must drive the AND tree's leaves high at cycle 0 (the
+        # only way to set the internal cut wire).
+        sim = Simulator(c)
+        frames = sim.run(
+            [
+                {name: cube.get(name, 1) for name in c.inputs}
+                for cube in trace.inputs
+            ]
+        )
+        wd = prop.signals()[0]
+        assert frames[-1][wd] == 1
+
+    def test_trace_cubes_are_partial(self):
+        """Fattest-cube selection should leave don't-cares unassigned."""
+        c, prop = counter_with_watchdog(width=4, bad_value=2)
+        # A register the property does not care about: its value is free
+        # in every onion ring, so fattest cubes must skip it.
+        free = c.add_input("free")
+        c.add_register(free, output="junk")
+        c.validate()
+        encoding, images, target, reach = run_reach(c, prop)
+        engine = HybridTraceEngine(c, encoding, images)
+        trace = engine.build_trace(reach, target)
+        total_possible = trace.length * (c.num_registers + c.num_inputs)
+        assigned = sum(len(trace.cube_at(i)) for i in range(trace.length))
+        assert assigned < total_possible

@@ -1,0 +1,168 @@
+"""End-to-end tests of the RFN abstraction-refinement loop."""
+
+import pytest
+
+from repro.core import RFN, RfnConfig, RfnStatus, watchdog_property
+from repro.mc.reach import ReachLimits
+from repro.netlist import Circuit
+from repro.netlist.words import WordReg, w_eq_const, w_inc, word_input
+from repro.sim import Simulator
+
+
+def toggle_design():
+    """True property needing one conflict-driven refinement."""
+    c = Circuit("tog")
+    x = c.add_register("xd", init=0, output="x")
+    c.g_not(x, output="xd")
+    xprev = c.add_register(x, init=0, output="xprev")
+    bad = c.g_and(x, xprev, output="bad")
+    prop = watchdog_property(c, bad, "two_high")
+    c.validate()
+    return c, prop
+
+
+def chain_design(depth=5):
+    """True property: a constant-0 pipeline can never raise its tap."""
+    c = Circuit("chain")
+    zero = c.g_const(0, output="zero")
+    prev = c.add_register(zero, output="r1")
+    for i in range(2, depth + 1):
+        prev = c.add_register(prev, output=f"r{i}")
+    prop = watchdog_property(c, prev, "tap_high")
+    c.validate()
+    return c, prop
+
+
+def buggy_counter(width=4, bad_value=9):
+    """False property: the counter does reach the bad value."""
+    c = Circuit("cnt")
+    cnt = WordReg(c, "cnt", width, init=0)
+    nxt, _ = w_inc(c, cnt.q)
+    cnt.drive(nxt)
+    bad = w_eq_const(c, cnt.q, bad_value)
+    prop = watchdog_property(c, bad, "cnt_bad")
+    c.validate()
+    return c, prop
+
+
+def padded(design_fn, pads=30):
+    """Wrap a design with an island of irrelevant registers, bloating the
+    raw register count the way the paper's real-world designs do."""
+    c, prop = design_fn()
+    for i in range(pads):
+        c.add_register(c.add_input(f"pad_in{i}"), output=f"pad{i}")
+    c.validate()
+    return c, prop
+
+
+class TestVerified:
+    def test_toggle_verified(self):
+        c, prop = toggle_design()
+        result = RFN(c, prop).run()
+        assert result.status is RfnStatus.VERIFIED
+        assert result.verified
+
+    def test_toggle_final_model_is_small(self):
+        c, prop = toggle_design()
+        result = RFN(c, prop).run()
+        assert result.abstract_model_registers <= 3
+
+    def test_chain_verified_iteratively(self):
+        c, prop = chain_design(depth=5)
+        result = RFN(c, prop).run()
+        assert result.status is RfnStatus.VERIFIED
+        # More than one CEGAR iteration was needed.
+        assert len(result.iterations) > 1
+
+    def test_padded_design_ignores_islands(self):
+        c, prop = padded(toggle_design, pads=40)
+        result = RFN(c, prop).run()
+        assert result.status is RfnStatus.VERIFIED
+        assert result.abstract_model_registers <= 3
+        assert all(not reg.startswith("pad") for reg in result.kept_registers)
+
+
+class TestFalsified:
+    def test_buggy_counter_falsified(self):
+        c, prop = buggy_counter()
+        result = RFN(c, prop).run()
+        assert result.status is RfnStatus.FALSIFIED
+        assert result.trace is not None
+
+    def test_concrete_trace_replays(self):
+        c, prop = buggy_counter()
+        result = RFN(c, prop).run()
+        sim = Simulator(c)
+        frames = sim.run(result.trace.inputs, state=result.trace.states[0])
+        wd = prop.signals()[0]
+        assert any(f[wd] == 1 for f in frames)
+
+    def test_trace_length_matches_bug_depth(self):
+        c, prop = buggy_counter(bad_value=6)
+        result = RFN(c, prop).run()
+        # cnt==6 at cycle 6, watchdog latches at cycle 7 (index 6).
+        assert result.trace.length == 8
+
+    def test_abstract_trace_reported(self):
+        c, prop = buggy_counter()
+        result = RFN(c, prop).run()
+        assert result.abstract_trace is not None
+
+
+class TestResourceLimits:
+    def test_iteration_limit(self):
+        c, prop = chain_design(depth=6)
+        config = RfnConfig(max_iterations=1, enable_guided_search=False)
+        result = RFN(c, prop, config).run()
+        assert result.status is RfnStatus.RESOURCE_OUT
+
+    def test_time_limit(self):
+        c, prop = chain_design(depth=6)
+        config = RfnConfig(max_seconds=0.0)
+        result = RFN(c, prop, config).run()
+        assert result.status is RfnStatus.RESOURCE_OUT
+        assert result.detail == "time limit"
+
+    def test_reach_resource_out_propagates(self):
+        c, prop = buggy_counter()
+        config = RfnConfig(reach_limits=ReachLimits(max_iterations=1))
+        result = RFN(c, prop, config).run()
+        assert result.status is RfnStatus.RESOURCE_OUT
+
+
+class TestConfigKnobs:
+    def test_log_callback(self):
+        c, prop = toggle_design()
+        messages = []
+        config = RfnConfig(log=messages.append)
+        RFN(c, prop, config).run()
+        assert any("abstract model" in m for m in messages)
+
+    def test_minimization_disabled_still_verifies(self):
+        c, prop = toggle_design()
+        config = RfnConfig(enable_minimization=False)
+        result = RFN(c, prop, config).run()
+        assert result.status is RfnStatus.VERIFIED
+
+    def test_guidance_disabled_still_falsifies(self):
+        c, prop = buggy_counter(bad_value=5)
+        config = RfnConfig(guidance=False)
+        result = RFN(c, prop, config).run()
+        assert result.status is RfnStatus.FALSIFIED
+
+    def test_iteration_records_populated(self):
+        c, prop = chain_design(depth=4)
+        result = RFN(c, prop).run()
+        assert result.iterations
+        first = result.iterations[0]
+        assert first.model_registers == 1  # just the watchdog
+        assert first.reach_outcome in ("target_hit", "fixpoint")
+        # Register counts grow monotonically across iterations.
+        sizes = [it.model_registers for it in result.iterations]
+        assert sizes == sorted(sizes)
+
+    def test_no_reorder_config(self):
+        c, prop = toggle_design()
+        config = RfnConfig(auto_reorder=False)
+        result = RFN(c, prop, config).run()
+        assert result.status is RfnStatus.VERIFIED

@@ -1,0 +1,115 @@
+"""Tests for the FIFO controller design."""
+
+import pytest
+
+from repro.designs.fifo import FifoParams, build_fifo
+from repro.netlist.ops import coi_stats
+from repro.sim import Simulator
+
+
+def read_word(values, name, width):
+    return sum(values[f"{name}[{i}]"] << i for i in range(width))
+
+
+def drive_word(name, value, width):
+    return {f"{name}[{i}]": (value >> i) & 1 for i in range(width)}
+
+
+@pytest.fixture(scope="module")
+def fifo():
+    return build_fifo(FifoParams(depth=4, width=3))
+
+
+class TestGeometry:
+    def test_depth_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            FifoParams(depth=6)
+
+    def test_width_positive(self):
+        with pytest.raises(ValueError):
+            FifoParams(width=0)
+
+    def test_paper_scale_coi_size(self):
+        c, props = build_fifo(FifoParams.paper_scale())
+        regs, _gates = coi_stats(c, props["psh_hf"].signals())
+        # The paper's FIFO had 135 registers in the COI.
+        assert 120 <= regs <= 150
+
+    def test_properties_present(self, fifo):
+        _, props = fifo
+        assert set(props) == {"psh_hf", "psh_af", "psh_full"}
+
+
+class TestBehaviour:
+    def run_ops(self, circuit, ops):
+        """ops: list of (push, pop, value) tuples; returns final values."""
+        sim = Simulator(circuit)
+        state = sim.initial_state()
+        values = None
+        for push, pop, value in ops:
+            inputs = {"push": push, "pop": pop}
+            inputs.update(drive_word("din", value, 3))
+            values, state = sim.step(state, inputs)
+        return values, state
+
+    def test_count_tracks_occupancy(self, fifo):
+        c, _ = fifo
+        _, state = self.run_ops(c, [(1, 0, 5), (1, 0, 6), (0, 1, 0)])
+        assert read_word(state, "count", 3) == 1
+
+    def test_full_blocks_push(self, fifo):
+        c, _ = fifo
+        ops = [(1, 0, 1)] * 6  # depth is 4, two pushes must be dropped
+        _, state = self.run_ops(c, ops)
+        assert read_word(state, "count", 3) == 4
+
+    def test_empty_blocks_pop(self, fifo):
+        c, _ = fifo
+        _, state = self.run_ops(c, [(0, 1, 0), (0, 1, 0)])
+        assert read_word(state, "count", 3) == 0
+
+    def test_fifo_order(self, fifo):
+        c, _ = fifo
+        sim = Simulator(c)
+        state = sim.initial_state()
+        for value in (3, 5, 7):
+            inputs = {"push": 1, "pop": 0}
+            inputs.update(drive_word("din", value, 3))
+            _, state = sim.step(state, inputs)
+        outs = []
+        for _ in range(3):
+            values, state = sim.step(
+                state, {"push": 0, "pop": 1, **drive_word("din", 0, 3)}
+            )
+            outs.append(read_word(values, "dout", 3))
+        assert outs == [3, 5, 7]
+
+    def test_flags_track_thresholds(self, fifo):
+        c, _ = fifo
+        sim = Simulator(c)
+        state = sim.initial_state()
+        for i in range(4):
+            count = read_word(state, "count", 3)
+            assert state["hf_flag"] == int(count >= 2)
+            assert state["af_flag"] == int(count >= 2)  # depth-2 == half here
+            assert state["full_flag"] == int(count == 4)
+            _, state = sim.step(
+                state, {"push": 1, "pop": 0, **drive_word("din", i, 3)}
+            )
+
+    def test_watchdogs_never_fire_in_random_sim(self, fifo):
+        c, props = fifo
+        from repro.sim import RandomSimulator
+
+        rs = RandomSimulator(c, seed=11)
+        frames = rs.random_run(200)
+        for prop in props.values():
+            wd = prop.signals()[0]
+            assert all(f[wd] == 0 for f in frames)
+
+    def test_mem_conflict_structurally_false(self, fifo):
+        c, _ = fifo
+        from repro.atpg import AtpgOutcome, combinational_atpg
+
+        result = combinational_atpg(c, {"mem_conflict": 1})
+        assert result.outcome is AtpgOutcome.UNSATISFIABLE

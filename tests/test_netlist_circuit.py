@@ -1,0 +1,219 @@
+"""Unit tests for the netlist circuit model."""
+
+import pytest
+
+from repro.netlist import Circuit, GateOp, NetlistError
+from repro.netlist.cell import Gate, Register
+
+
+class TestCellTypes:
+    def test_gate_arity_enforced_not(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateOp.NOT, ("a", "b"))
+
+    def test_gate_arity_enforced_mux(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateOp.MUX, ("s", "a"))
+
+    def test_gate_variadic_and(self):
+        gate = Gate("y", GateOp.AND, ("a", "b", "c", "d"))
+        assert gate.inputs == ("a", "b", "c", "d")
+
+    def test_gate_and_requires_input(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateOp.AND, ())
+
+    def test_const_takes_no_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateOp.CONST0, ("a",))
+
+    def test_register_init_values(self):
+        assert Register("q", "d", init=0).init == 0
+        assert Register("q", "d", init=1).init == 1
+        assert Register("q", "d", init=None).init is None
+
+    def test_register_bad_init(self):
+        with pytest.raises(ValueError):
+            Register("q", "d", init=2)
+
+
+class TestCircuitConstruction:
+    def test_add_input(self):
+        c = Circuit()
+        c.add_input("a")
+        assert c.is_input("a")
+        assert c.inputs == ["a"]
+
+    def test_duplicate_signal_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.g_not("a", output="a")
+
+    def test_gate_auto_name(self):
+        c = Circuit()
+        c.add_input("a")
+        y = c.g_not("a")
+        assert c.is_gate_output(y)
+
+    def test_fresh_names_unique(self):
+        c = Circuit()
+        names = {c.fresh_name() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_driver_lookup(self):
+        c = Circuit()
+        a = c.add_input("a")
+        y = c.g_not(a)
+        q = c.add_register(y)
+        assert c.driver(a) is None
+        assert c.driver(y).op is GateOp.NOT
+        assert c.driver(q).data == y
+
+    def test_signal_classification(self):
+        c = Circuit()
+        a = c.add_input("a")
+        y = c.g_buf(a)
+        q = c.add_register(y)
+        assert c.is_input(a) and not c.is_gate_output(a)
+        assert c.is_gate_output(y) and not c.is_register_output(y)
+        assert c.is_register_output(q) and not c.is_input(q)
+        assert set(c.signals()) == {a, y, q}
+
+    def test_stats(self):
+        c = Circuit()
+        a = c.add_input("a")
+        y = c.g_not(a)
+        c.add_register(y)
+        assert c.stats() == {"inputs": 1, "gates": 1, "registers": 1}
+
+    def test_single_input_and_becomes_buf(self):
+        c = Circuit()
+        a = c.add_input("a")
+        y = c.g_and(a)
+        assert c.gates[y].op is GateOp.BUF
+
+    def test_mark_output(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output(a)
+        assert c.outputs == [a]
+
+    def test_contains(self):
+        c = Circuit()
+        c.add_input("a")
+        assert "a" in c
+        assert "zz" not in c
+
+
+class TestValidation:
+    def test_undefined_gate_input(self):
+        c = Circuit()
+        c.add_gate(GateOp.NOT, ("ghost",), "y")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_undefined_register_data(self):
+        c = Circuit()
+        c.add_register("ghost", output="q")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_combinational_cycle_detected(self):
+        c = Circuit()
+        c.add_gate(GateOp.NOT, ("b",), "a")
+        c.add_gate(GateOp.NOT, ("a",), "b")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_sequential_cycle_is_fine(self):
+        c = Circuit()
+        q = c.add_register("d", output="q")
+        c.g_not(q, output="d")
+        c.validate()
+
+    def test_forward_reference_ok(self):
+        # Registers may name data signals defined later.
+        c = Circuit()
+        q = c.add_register("later", output="q")
+        c.g_not(q, output="later")
+        c.validate()
+
+
+class TestTopoOrder:
+    def test_topo_respects_dependencies(self):
+        c = Circuit()
+        a = c.add_input("a")
+        b = c.add_input("b")
+        x = c.g_and(a, b)
+        y = c.g_not(x)
+        z = c.g_or(y, a)
+        order = [g.output for g in c.topo_gates()]
+        assert order.index(x) < order.index(y) < order.index(z)
+
+    def test_topo_covers_all_gates(self):
+        c = Circuit()
+        a = c.add_input("a")
+        for _ in range(50):
+            a = c.g_not(a)
+        assert len(c.topo_gates()) == 50
+
+    def test_topo_cache_invalidated_on_mutation(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.g_not(a)
+        assert len(c.topo_gates()) == 1
+        c.g_buf(a)
+        assert len(c.topo_gates()) == 2
+
+    def test_deep_chain_no_recursion_error(self):
+        c = Circuit()
+        sig = c.add_input("a")
+        for _ in range(5000):
+            sig = c.g_not(sig)
+        assert len(c.topo_gates()) == 5000
+
+
+class TestCopyAndSubcircuit:
+    def test_copy_is_independent(self):
+        c = Circuit("orig")
+        a = c.add_input("a")
+        c.g_not(a)
+        d = c.copy("dup")
+        d.g_buf(a)
+        assert c.num_gates == 1
+        assert d.num_gates == 2
+
+    def test_is_subcircuit_of(self):
+        c = Circuit()
+        a = c.add_input("a")
+        y = c.g_not(a)
+        q = c.add_register(y)
+        sub = Circuit()
+        sub.add_input(a)
+        sub.add_gate(GateOp.NOT, (a,), y)
+        assert sub.is_subcircuit_of(c)
+        assert c.is_subcircuit_of(c)
+
+    def test_not_subcircuit_when_gate_differs(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.g_not(a, output="y")
+        other = Circuit()
+        other.add_input(a)
+        other.g_buf(a, output="y")
+        assert not other.is_subcircuit_of(c)
+
+
+class TestFanout:
+    def test_fanout_map(self):
+        c = Circuit()
+        a = c.add_input("a")
+        y = c.g_not(a)
+        z = c.g_and(a, y)
+        q = c.add_register(z)
+        fan = c.fanout_map()
+        assert sorted(fan[a]) == sorted([y, z])
+        assert fan[z] == [q]

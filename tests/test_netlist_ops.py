@@ -1,0 +1,152 @@
+"""Unit tests for structural netlist operations (cones, COI, extraction)."""
+
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    NetlistError,
+    coi_registers,
+    coi_stats,
+    combinational_cone,
+    extract_subcircuit,
+    register_dependency_graph,
+    support_of,
+    transitive_fanout_signals,
+)
+
+
+def two_stage_pipeline():
+    """in -> g1 -> r1 -> g2 -> r2 -> out_gate; plus an unrelated island."""
+    c = Circuit("pipe")
+    a = c.add_input("a")
+    g1 = c.g_not(a, output="g1")
+    r1 = c.add_register(g1, output="r1")
+    g2 = c.g_not(r1, output="g2")
+    r2 = c.add_register(g2, output="r2")
+    out = c.g_buf(r2, output="out")
+    # unrelated island
+    b = c.add_input("b")
+    g3 = c.g_not(b, output="g3")
+    c.add_register(g3, output="r3")
+    c.validate()
+    return c
+
+
+class TestCones:
+    def test_combinational_cone_stops_at_registers(self):
+        c = two_stage_pipeline()
+        cone = combinational_cone(c, ["out"])
+        assert cone == {"out"}
+
+    def test_combinational_cone_through_gates(self):
+        c = Circuit()
+        a = c.add_input("a")
+        x = c.g_not(a, output="x")
+        y = c.g_not(x, output="y")
+        z = c.g_not(y, output="z")
+        assert combinational_cone(c, [z]) == {"x", "y", "z"}
+
+    def test_support_of_gate_signal(self):
+        c = two_stage_pipeline()
+        assert support_of(c, ["out"]) == {"r2"}
+        assert support_of(c, ["g2"]) == {"r1"}
+
+    def test_support_of_input_is_itself(self):
+        c = two_stage_pipeline()
+        assert support_of(c, ["a"]) == {"a"}
+
+    def test_support_undefined_signal_raises(self):
+        c = two_stage_pipeline()
+        with pytest.raises(NetlistError):
+            support_of(c, ["ghost"])
+
+
+class TestCOI:
+    def test_coi_walks_through_registers(self):
+        c = two_stage_pipeline()
+        assert coi_registers(c, ["out"]) == {"r1", "r2"}
+
+    def test_coi_excludes_island(self):
+        c = two_stage_pipeline()
+        assert "r3" not in coi_registers(c, ["out"])
+
+    def test_coi_of_register_signal_includes_it(self):
+        c = two_stage_pipeline()
+        assert coi_registers(c, ["r1"]) == {"r1"}
+
+    def test_coi_stats(self):
+        c = two_stage_pipeline()
+        n_regs, n_gates = coi_stats(c, ["out"])
+        assert n_regs == 2
+        assert n_gates == 3  # out, g2, g1
+
+    def test_coi_self_loop(self):
+        c = Circuit()
+        q = c.add_register("d", output="q")
+        c.g_not(q, output="d")
+        assert coi_registers(c, ["q"]) == {"q"}
+
+
+class TestExtractSubcircuit:
+    def test_initial_abstraction_no_registers(self):
+        c = two_stage_pipeline()
+        sub = extract_subcircuit(c, [], ["out"])
+        # The cone of `out` stops at r2's output, which becomes a PI.
+        assert sub.inputs == ["r2"]
+        assert sub.num_registers == 0
+        assert sub.num_gates == 1
+        assert sub.is_subcircuit_of(c)
+
+    def test_keep_one_register(self):
+        c = two_stage_pipeline()
+        sub = extract_subcircuit(c, ["r2"], ["out"])
+        assert sub.num_registers == 1
+        assert "r1" in sub.inputs  # dropped register output exposed as PI
+        assert sub.is_subcircuit_of(c)
+
+    def test_keep_all_registers_recovers_coi(self):
+        c = two_stage_pipeline()
+        sub = extract_subcircuit(c, ["r1", "r2"], ["out"])
+        assert set(sub.registers) == {"r1", "r2"}
+        assert sub.inputs == ["a"]
+        assert sub.is_subcircuit_of(c)
+
+    def test_init_values_preserved(self):
+        c = Circuit()
+        a = c.add_input("a")
+        q = c.add_register(a, init=1, output="q")
+        sub = extract_subcircuit(c, [q], [q])
+        assert sub.registers[q].init == 1
+
+    def test_non_register_keep_rejected(self):
+        c = two_stage_pipeline()
+        with pytest.raises(NetlistError):
+            extract_subcircuit(c, ["a"], ["out"])
+
+    def test_roots_marked_as_outputs(self):
+        c = two_stage_pipeline()
+        sub = extract_subcircuit(c, [], ["out"])
+        assert sub.outputs == ["out"]
+
+    def test_register_data_outside_cone_exposed(self):
+        c = Circuit()
+        a = c.add_input("a")
+        q = c.add_register(a, output="q")  # data is a PI, no gates at all
+        sub = extract_subcircuit(c, [q], [q])
+        assert a in sub.inputs
+        assert sub.num_registers == 1
+
+
+class TestGraphs:
+    def test_register_dependency_graph(self):
+        c = two_stage_pipeline()
+        graph = register_dependency_graph(c)
+        assert graph["r2"] == {"r1"}
+        assert graph["r1"] == set()
+        assert graph["r3"] == set()
+
+    def test_transitive_fanout(self):
+        c = two_stage_pipeline()
+        fan = transitive_fanout_signals(c, ["a"])
+        assert {"a", "g1", "r1", "g2", "r2", "out"} <= fan
+        assert "b" not in fan and "r3" not in fan

@@ -1,0 +1,94 @@
+"""Tests for the netlist text format round-trip."""
+
+import pytest
+
+from repro.netlist import Circuit, NetlistError, circuit_from_text, circuit_to_text
+
+
+EXAMPLE = """
+# a toggling register with an enable
+circuit toggler
+input en
+reg q = d init 0
+gate nq = NOT q
+gate d = MUX en q nq
+output q
+"""
+
+
+class TestParse:
+    def test_parse_example(self):
+        c = circuit_from_text(EXAMPLE)
+        assert c.name == "toggler"
+        assert c.inputs == ["en"]
+        assert set(c.registers) == {"q"}
+        assert c.registers["q"].init == 0
+        assert c.outputs == ["q"]
+
+    def test_parse_free_init(self):
+        c = circuit_from_text("input a\nreg q = a init x\n")
+        assert c.registers["q"].init is None
+
+    def test_parse_default_init_zero(self):
+        c = circuit_from_text("input a\nreg q = a\n")
+        assert c.registers["q"].init == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        c = circuit_from_text("\n# hi\ninput a  # trailing\n")
+        assert c.inputs == ["a"]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit_from_text("input a\ngate y = FROB a\n")
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit_from_text("wire x\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit_from_text("input a\noutput ghost\n")
+
+    def test_bad_init_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit_from_text("input a\nreg q = a init 7\n")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit_from_text("  \n# only comments\n")
+
+    def test_malformed_gate_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit_from_text("input a\ngate y AND a\n")
+
+    def test_duplicate_circuit_line_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit_from_text("circuit a\ncircuit b\n")
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = circuit_from_text(EXAMPLE)
+        rebuilt = circuit_from_text(circuit_to_text(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.inputs == original.inputs
+        assert rebuilt.gates == original.gates
+        assert rebuilt.registers == original.registers
+        assert rebuilt.outputs == original.outputs
+
+    def test_round_trip_constants_and_mux(self):
+        c = Circuit("k")
+        s = c.add_input("s")
+        one = c.g_const(1, output="one")
+        zero = c.g_const(0, output="zero")
+        c.g_mux(s, zero, one, output="y")
+        c.mark_output("y")
+        rebuilt = circuit_from_text(circuit_to_text(c))
+        assert rebuilt.gates == c.gates
+
+    def test_round_trip_free_init(self):
+        c = Circuit("f")
+        a = c.add_input("a")
+        c.add_register(a, init=None, output="q")
+        rebuilt = circuit_from_text(circuit_to_text(c))
+        assert rebuilt.registers["q"].init is None

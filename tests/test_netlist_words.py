@@ -1,0 +1,202 @@
+"""Tests for word-level construction helpers, checked by simulation."""
+
+import pytest
+
+from repro.netlist import Circuit, NetlistError
+from repro.netlist.words import (
+    WordReg,
+    and_reduce,
+    decoder,
+    or_reduce,
+    w_add,
+    w_dec,
+    w_eq,
+    w_eq_const,
+    w_ge_const,
+    w_inc,
+    w_lt,
+    w_mux,
+    w_not,
+    w_shift_in,
+    word_const,
+    word_input,
+)
+from repro.sim import Simulator
+
+WIDTH = 4
+
+
+def make_env():
+    c = Circuit("words")
+    a = word_input(c, "a", WIDTH)
+    b = word_input(c, "b", WIDTH)
+    return c, a, b
+
+
+def drive(width, name, value):
+    return {f"{name}[{i}]": (value >> i) & 1 for i in range(width)}
+
+
+def read(values, word):
+    return sum(values[sig] << i for i, sig in enumerate(word))
+
+
+def eval_with(c, inputs):
+    c.validate()
+    return Simulator(c).evaluate({}, inputs)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("x", [0, 1, 7, 15])
+    @pytest.mark.parametrize("y", [0, 1, 8, 15])
+    def test_adder(self, x, y):
+        c, a, b = make_env()
+        s, cout = w_add(c, a, b)
+        values = eval_with(c, {**drive(WIDTH, "a", x), **drive(WIDTH, "b", y)})
+        assert read(values, s) == (x + y) % 16
+        assert values[cout] == (x + y) // 16
+
+    @pytest.mark.parametrize("x", [0, 5, 15])
+    def test_increment(self, x):
+        c, a, _ = make_env()
+        s, cout = w_inc(c, a)
+        values = eval_with(c, drive(WIDTH, "a", x))
+        assert read(values, s) == (x + 1) % 16
+        assert values[cout] == (1 if x == 15 else 0)
+
+    @pytest.mark.parametrize("x", [0, 1, 8])
+    def test_decrement(self, x):
+        c, a, _ = make_env()
+        s, borrow = w_dec(c, a)
+        values = eval_with(c, drive(WIDTH, "a", x))
+        assert read(values, s) == (x - 1) % 16
+        assert values[borrow] == (1 if x == 0 else 0)
+
+
+class TestComparators:
+    @pytest.mark.parametrize("x,y", [(0, 0), (3, 5), (5, 3), (15, 15), (14, 15)])
+    def test_lt(self, x, y):
+        c, a, b = make_env()
+        out = w_lt(c, a, b)
+        values = eval_with(c, {**drive(WIDTH, "a", x), **drive(WIDTH, "b", y)})
+        assert values[out] == int(x < y)
+
+    @pytest.mark.parametrize("x,y", [(0, 0), (3, 5), (7, 7)])
+    def test_eq(self, x, y):
+        c, a, b = make_env()
+        out = w_eq(c, a, b)
+        values = eval_with(c, {**drive(WIDTH, "a", x), **drive(WIDTH, "b", y)})
+        assert values[out] == int(x == y)
+
+    @pytest.mark.parametrize("x", range(0, 16, 3))
+    @pytest.mark.parametrize("k", [0, 1, 8, 15, 16, 99])
+    def test_ge_const(self, x, k):
+        c, a, _ = make_env()
+        out = w_ge_const(c, a, k)
+        values = eval_with(c, drive(WIDTH, "a", x))
+        assert values[out] == int(x >= k)
+
+    @pytest.mark.parametrize("x", [0, 6, 15])
+    def test_eq_const(self, x):
+        c, a, _ = make_env()
+        out = w_eq_const(c, a, 6)
+        values = eval_with(c, drive(WIDTH, "a", x))
+        assert values[out] == int(x == 6)
+
+
+class TestMisc:
+    def test_word_const(self):
+        c = Circuit()
+        k = word_const(c, 0b1010, 4)
+        values = eval_with(c, {})
+        assert read(values, k) == 0b1010
+
+    def test_mux(self):
+        c, a, b = make_env()
+        sel = c.add_input("sel")
+        out = w_mux(c, sel, a, b)
+        base = {**drive(WIDTH, "a", 3), **drive(WIDTH, "b", 12)}
+        assert read(eval_with(c, {**base, "sel": 0}), out) == 3
+        c2, a2, b2 = make_env()
+        sel2 = c2.add_input("sel")
+        out2 = w_mux(c2, sel2, a2, b2)
+        assert read(eval_with(c2, {**base, "sel": 1}), out2) == 12
+
+    def test_not(self):
+        c, a, _ = make_env()
+        out = w_not(c, a)
+        assert read(eval_with(c, drive(WIDTH, "a", 0b0101)), out) == 0b1010
+
+    def test_reductions(self):
+        c, a, _ = make_env()
+        all_one = and_reduce(c, a)
+        any_one = or_reduce(c, a)
+        values = eval_with(c, drive(WIDTH, "a", 0b1111))
+        assert values[all_one] == 1 and values[any_one] == 1
+        c2, a2, _ = make_env()
+        all2 = and_reduce(c2, a2)
+        any2 = or_reduce(c2, a2)
+        values2 = eval_with(c2, drive(WIDTH, "a", 0))
+        assert values2[all2] == 0 and values2[any2] == 0
+
+    def test_empty_reductions(self):
+        c = Circuit()
+        one = and_reduce(c, [])
+        zero = or_reduce(c, [])
+        values = eval_with(c, {})
+        assert values[one] == 1 and values[zero] == 0
+
+    def test_decoder(self):
+        c = Circuit()
+        a = word_input(c, "a", 2)
+        outs = decoder(c, a)
+        values = eval_with(c, drive(2, "a", 2))
+        assert [values[o] for o in outs] == [0, 0, 1, 0]
+
+    def test_decoder_width_guard(self):
+        c = Circuit()
+        a = word_input(c, "a", 9)
+        with pytest.raises(NetlistError):
+            decoder(c, a)
+
+    def test_shift_in(self):
+        c, a, _ = make_env()
+        bit = c.add_input("bit")
+        out = w_shift_in(c, a, bit)
+        values = eval_with(c, {**drive(WIDTH, "a", 0b0110), "bit": 1})
+        assert read(values, out) == 0b1101
+
+
+class TestWordReg:
+    def test_accumulator(self):
+        c = Circuit()
+        acc = WordReg(c, "acc", 4, init=5)
+        nxt, _ = w_inc(c, acc.q)
+        acc.drive(nxt)
+        c.validate()
+        sim = Simulator(c)
+        state = sim.initial_state()
+        assert read(state, acc.q) == 5
+        _, state = sim.step(state, {})
+        assert read(state, acc.q) == 6
+
+    def test_double_drive_rejected(self):
+        c = Circuit()
+        r = WordReg(c, "r", 2)
+        r.drive(word_const(c, 1, 2))
+        with pytest.raises(NetlistError):
+            r.drive(word_const(c, 2, 2))
+
+    def test_width_mismatch_rejected(self):
+        c = Circuit()
+        r = WordReg(c, "r", 3)
+        with pytest.raises(NetlistError):
+            r.drive(word_const(c, 0, 2))
+
+    def test_init_bits(self):
+        c = Circuit()
+        r = WordReg(c, "r", 4, init=0b1001)
+        r.drive(r.q)
+        c.validate()
+        state = Simulator(c).initial_state()
+        assert read(state, r.q) == 0b1001

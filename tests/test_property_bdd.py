@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the BDD engine.
+
+Strategy: generate random boolean expression trees over a small variable
+set, build them both as BDDs and as Python closures, and check agreement
+on every assignment.  On top of that, check the algebraic laws the rest
+of the system leans on (quantifier semantics, cube covers, reorder
+invariance).
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+
+NAMES = ["v0", "v1", "v2", "v3", "v4"]
+
+
+def expressions(depth=4):
+    """Strategy producing (builder, evaluator) expression pairs."""
+    leaves = st.sampled_from(NAMES).map(
+        lambda n: (lambda bdd: bdd.var(n), lambda env, n=n: bool(env[n]))
+    )
+    constants = st.booleans().map(
+        lambda b: (
+            (lambda bdd: bdd.true) if b else (lambda bdd: bdd.false),
+            lambda env, b=b: b,
+        )
+    )
+
+    def combine(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["and", "or", "xor"]), children,
+                      children).map(_binary),
+            children.map(_negate),
+        )
+
+    return st.recursive(st.one_of(leaves, constants), combine,
+                        max_leaves=12)
+
+
+def _binary(args):
+    op, (fa, ea), (fb, eb) = args
+    if op == "and":
+        return (
+            lambda bdd: fa(bdd) & fb(bdd),
+            lambda env: ea(env) and eb(env),
+        )
+    if op == "or":
+        return (
+            lambda bdd: fa(bdd) | fb(bdd),
+            lambda env: ea(env) or eb(env),
+        )
+    return (
+        lambda bdd: fa(bdd) ^ fb(bdd),
+        lambda env: ea(env) != eb(env),
+    )
+
+
+def _negate(pair):
+    fa, ea = pair
+    return (lambda bdd: ~fa(bdd), lambda env: not ea(env))
+
+
+def all_envs():
+    for bits in itertools.product((0, 1), repeat=len(NAMES)):
+        yield dict(zip(NAMES, bits))
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions())
+def test_bdd_matches_evaluator(expr):
+    build, evaluate = expr
+    bdd = BDD(NAMES)
+    f = build(bdd)
+    for env in all_envs():
+        assert f(env) == evaluate(env)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions(), st.sampled_from(NAMES))
+def test_exists_is_or_of_cofactors(expr, name):
+    build, _ = expr
+    bdd = BDD(NAMES)
+    f = build(bdd)
+    quantified = bdd.exists([name], f)
+    expected = bdd.restrict(f, {name: 0}) | bdd.restrict(f, {name: 1})
+    assert quantified == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions(), expressions(),
+       st.lists(st.sampled_from(NAMES), unique=True))
+def test_and_exists_equals_unfused(expr_a, expr_b, qvars):
+    bdd = BDD(NAMES)
+    f = expr_a[0](bdd)
+    g = expr_b[0](bdd)
+    assert bdd.and_exists(f, g, qvars) == bdd.exists(qvars, f & g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions())
+def test_cubes_partition_function(expr):
+    build, _ = expr
+    bdd = BDD(NAMES)
+    f = build(bdd)
+    cover = bdd.false
+    seen = []
+    for cube in bdd.iter_cubes(f):
+        fn = bdd.cube(cube)
+        for other in seen:
+            assert (fn & other).is_false  # disjoint
+        seen.append(fn)
+        cover = cover | fn
+    assert cover == f
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions())
+def test_shortest_cube_is_satisfying_and_minimal(expr):
+    build, _ = expr
+    bdd = BDD(NAMES)
+    f = build(bdd)
+    fattest = bdd.shortest_cube(f)
+    if fattest is None:
+        assert f.is_false
+        return
+    env = {n: fattest.get(n, 0) for n in NAMES}
+    assert f(env)
+    shortest_path = min(len(c) for c in bdd.iter_cubes(f))
+    assert len(fattest) == shortest_path
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions())
+def test_sat_count_matches_enumeration(expr):
+    build, evaluate = expr
+    bdd = BDD(NAMES)
+    f = build(bdd)
+    explicit = sum(1 for env in all_envs() if evaluate(env))
+    assert bdd.sat_count(f) == explicit
+
+
+@settings(max_examples=25, deadline=None)
+@given(expressions(), st.permutations(NAMES))
+def test_set_order_preserves_semantics(expr, order):
+    build, evaluate = expr
+    bdd = BDD(NAMES)
+    f = build(bdd)
+    bdd.set_order(list(order))
+    assert bdd.var_order() == list(order)
+    for env in all_envs():
+        assert f(env) == evaluate(env)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(expressions(), min_size=1, max_size=3))
+def test_sift_preserves_all_live_functions(exprs):
+    bdd = BDD(NAMES)
+    functions = [(build(bdd), evaluate) for build, evaluate in exprs]
+    bdd.sift()
+    for f, evaluate in functions:
+        for env in all_envs():
+            assert f(env) == evaluate(env)
+
+
+@settings(max_examples=30, deadline=None)
+@given(expressions(), expressions())
+def test_canonicity_after_operations(expr_a, expr_b):
+    """Semantically equal functions built differently share a node."""
+    bdd = BDD(NAMES)
+    f = expr_a[0](bdd)
+    g = expr_b[0](bdd)
+    # De Morgan round trip must be canonical.
+    assert ~(f & g) == (~f | ~g)
+    assert ~(f | g) == (~f & ~g)
+    assert (f ^ g) == (g ^ f)

@@ -1,0 +1,213 @@
+"""Tests for the Verilog-subset frontend."""
+
+import pytest
+
+from repro.core import RFN, RfnStatus, UnreachabilityProperty
+from repro.netlist import VerilogError, parse_verilog
+from repro.sim import Simulator
+
+COUNTER = """
+// A 4-bit counter with enable and a terminal-count output.
+module counter (clk, en, tc);
+  input clk;
+  input en;
+  output tc;
+  reg [3:0] cnt = 4'd0;
+  wire [3:0] inc;
+  assign inc = cnt ^ 4'b0001;   // toy "increment" of the LSB only
+  always @(posedge clk) begin
+    cnt <= en ? inc : cnt;
+  end
+  assign tc = &cnt;
+endmodule
+"""
+
+HANDSHAKE = """
+module handshake (clk, req_in, wd);
+  input clk; input req_in; output wd;
+  reg req = 1'b0;
+  reg ack = 1'b0;
+  reg wd_r = 1'b0;
+  wire bad;
+  assign bad = ack & ~req;
+  always @(posedge clk) begin
+    req <= ack ? req_in : req;
+    ack <= req;
+    wd_r <= wd_r | bad;
+  end
+  assign wd = wd_r;
+endmodule
+"""
+
+
+class TestParsing:
+    def test_counter_structure(self):
+        c = parse_verilog(COUNTER)
+        assert c.name == "counter"
+        assert c.inputs == ["en"]  # the clock is not a netlist signal
+        assert set(c.registers) == {f"cnt[{i}]" for i in range(4)}
+        assert "tc" in c.outputs
+
+    def test_initial_values(self):
+        c = parse_verilog("""
+module m (clk); input clk;
+  reg [2:0] q = 3'd5;
+  always @(posedge clk) q <= q;
+endmodule
+""")
+        inits = [c.registers[f"q[{i}]"].init for i in range(3)]
+        assert inits == [1, 0, 1]
+
+    def test_scalar_reg(self):
+        c = parse_verilog("""
+module m (clk, d); input clk; input d;
+  reg q = 1'b1;
+  always @(posedge clk) q <= d;
+endmodule
+""")
+        assert c.registers["q"].init == 1
+        assert c.registers["q"].data == "q$next"
+
+    def test_comments_stripped(self):
+        c = parse_verilog("""
+module m (a, y); // header
+  input a; /* block
+  comment */ output y;
+  assign y = ~a;  // invert
+endmodule
+""")
+        assert c.inputs == ["a"]
+
+
+class TestSemantics:
+    def test_counter_behaviour(self):
+        c = parse_verilog(COUNTER)
+        sim = Simulator(c)
+        state = sim.initial_state()
+        values, state = sim.step(state, {"en": 1})
+        assert state["cnt[0]"] == 1  # LSB toggled
+        values, state = sim.step(state, {"en": 0})
+        assert state["cnt[0]"] == 1  # held
+
+    def test_reduction_and(self):
+        c = parse_verilog(COUNTER)
+        sim = Simulator(c)
+        values = sim.evaluate({f"cnt[{i}]": 1 for i in range(4)}, {"en": 0})
+        assert values["tc"] == 1
+        values = sim.evaluate(
+            {"cnt[0]": 0, "cnt[1]": 1, "cnt[2]": 1, "cnt[3]": 1}, {"en": 0}
+        )
+        assert values["tc"] == 0
+
+    def test_equality_operator(self):
+        c = parse_verilog("""
+module m (a, y);
+  input [2:0] a; output y;
+  assign y = a == 3'd5;
+endmodule
+""")
+        sim = Simulator(c)
+        hit = sim.evaluate({}, {"a[0]": 1, "a[1]": 0, "a[2]": 1})
+        miss = sim.evaluate({}, {"a[0]": 0, "a[1]": 0, "a[2]": 1})
+        assert hit["y"] == 1 and miss["y"] == 0
+
+    def test_ternary_and_bit_select(self):
+        c = parse_verilog("""
+module m (s, a, b, y);
+  input s; input [1:0] a; input [1:0] b; output y;
+  assign y = s ? a[1] : b[0];
+endmodule
+""")
+        sim = Simulator(c)
+        env = {"a[0]": 0, "a[1]": 1, "b[0]": 0, "b[1]": 1}
+        assert sim.evaluate({}, {**env, "s": 1})["y"] == 1
+        assert sim.evaluate({}, {**env, "s": 0})["y"] == 0
+
+    def test_verify_parsed_module(self):
+        """End-to-end: parse RTL, state a property, prove it with RFN."""
+        c = parse_verilog(HANDSHAKE)
+        prop = UnreachabilityProperty("ack_without_req", {"wd_r": 1})
+        result = RFN(c, prop).run()
+        assert result.status is RfnStatus.VERIFIED
+
+
+class TestErrors:
+    def test_undeclared_signal(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module m (y); output y; assign y = ghost;\nendmodule")
+
+    def test_width_mismatch(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (a, y); input [2:0] a; output y;
+  assign y = a;
+endmodule
+""")
+
+    def test_multiple_clocks_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (c1, c2, d); input c1; input c2; input d;
+  reg q1 = 1'b0; reg q2 = 1'b0;
+  always @(posedge c1) q1 <= d;
+  always @(posedge c2) q2 <= d;
+endmodule
+""")
+
+    def test_double_register_assignment(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (clk, d); input clk; input d;
+  reg q = 1'b0;
+  always @(posedge clk) q <= d;
+  always @(posedge clk) q <= ~d;
+endmodule
+""")
+
+    def test_unassigned_register(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (clk); input clk;
+  reg q = 1'b0;
+endmodule
+""")
+
+    def test_literal_overflow(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (y); output [1:0] y;
+  assign y = 2'd7;
+endmodule
+""")
+
+    def test_bit_select_out_of_range(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (a, y); input [1:0] a; output y;
+  assign y = a[5];
+endmodule
+""")
+
+    def test_clock_in_expression_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (clk, y); input clk; output y;
+  reg q = 1'b0;
+  always @(posedge clk) q <= q;
+  assign y = clk;
+endmodule
+""")
+
+    def test_unexpected_character(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module m; %%% endmodule")
+
+    def test_assign_to_reg_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+module m (clk, y); input clk; output y;
+  reg q = 1'b0;
+  always @(posedge clk) q <= q;
+  assign q = 1'b1;
+endmodule
+""")
