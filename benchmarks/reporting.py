@@ -8,11 +8,26 @@ written both to ``benchmarks/out/<name>.txt`` and to the *real* stdout
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from typing import List, Sequence
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Write a benchmark result dict to ``benchmarks/out/<name>.json`` and
+    echo it to real stdout; machine-readable counterpart of
+    :func:`emit_table` for perf-trajectory tracking across PRs."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.json")
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+    return path
 
 
 def emit_table(name: str, title: str, header: Sequence[str],

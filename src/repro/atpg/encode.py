@@ -6,13 +6,21 @@ variable at frame ``t + 1`` is equivalent to its data input variable at
 frame ``t``.  With a single frame and no initial-state constraint the
 encoding is the plain combinational view in which register outputs act as
 free pseudo-inputs -- exactly what combinational ATPG needs.
+
+The per-frame clauses come from the kernel's cached
+:class:`~repro.kernel.scache.FrameTemplate`: the circuit's one-frame CNF
+is derived once (per structural fingerprint, shared across the identical
+models that CEGAR iterations keep rebuilding) and each time frame is
+instantiated by offsetting the template's literals.  Variable numbering
+and clause order are byte-identical to a cold gate-by-gate encoding.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.netlist.cell import GateOp
+from repro.kernel.perf import PERF
+from repro.kernel.scache import frame_template
 from repro.netlist.circuit import Circuit
 from repro.sat.cnf import CNF
 
@@ -50,24 +58,17 @@ class Unroller:
         self.cycles = cycles
         self.cnf = CNF()
         self._vars: List[Dict[str, int]] = []
-        order = circuit.topo_gates()
-        for frame in range(cycles):
-            frame_vars: Dict[str, int] = {}
-            self._vars.append(frame_vars)
-            for name in circuit.inputs:
-                frame_vars[name] = self.cnf.new_var(f"{name}@{frame}")
-            for name in circuit.registers:
-                frame_vars[name] = self.cnf.new_var(f"{name}@{frame}")
-            for gate in order:
-                frame_vars[gate.output] = self.cnf.new_var(
-                    f"{gate.output}@{frame}"
-                )
-            for gate in order:
-                self._encode_gate(gate, frame_vars)
-            if frame > 0:
-                previous = self._vars[frame - 1]
-                for name, reg in circuit.registers.items():
-                    self.cnf.add_equiv(frame_vars[name], previous[reg.data])
+        template = frame_template(circuit)
+        with PERF.timed("kernel.unroll"):
+            for frame in range(cycles):
+                frame_vars = template.instantiate(self.cnf, frame)
+                self._vars.append(frame_vars)
+                if frame > 0:
+                    previous = self._vars[frame - 1]
+                    for name, reg in circuit.registers.items():
+                        self.cnf.add_equiv(
+                            frame_vars[name], previous[reg.data]
+                        )
         if initial_state is not None:
             for name, value in initial_state.items():
                 if not circuit.is_register_output(name):
@@ -81,46 +82,6 @@ class Unroller:
                     self.cnf.add_unit(
                         self.lit(name, 0) if reg.init else -self.lit(name, 0)
                     )
-
-    def _encode_gate(self, gate, frame_vars: Dict[str, int]) -> None:
-        out = frame_vars[gate.output]
-        ins = [frame_vars[s] for s in gate.inputs]
-        op = gate.op
-        cnf = self.cnf
-        if op is GateOp.AND:
-            cnf.add_and(out, ins)
-        elif op is GateOp.OR:
-            cnf.add_or(out, ins)
-        elif op is GateOp.NAND:
-            aux = cnf.new_var()
-            cnf.add_and(aux, ins)
-            cnf.add_equiv(out, -aux)
-        elif op is GateOp.NOR:
-            aux = cnf.new_var()
-            cnf.add_or(aux, ins)
-            cnf.add_equiv(out, -aux)
-        elif op is GateOp.NOT:
-            cnf.add_equiv(out, -ins[0])
-        elif op is GateOp.BUF:
-            cnf.add_equiv(out, ins[0])
-        elif op in (GateOp.XOR, GateOp.XNOR):
-            acc = ins[0]
-            for nxt in ins[1:]:
-                parity = cnf.new_var()
-                cnf.add_xor2(parity, acc, nxt)
-                acc = parity
-            if op is GateOp.XOR:
-                cnf.add_equiv(out, acc)
-            else:
-                cnf.add_equiv(out, -acc)
-        elif op is GateOp.MUX:
-            cnf.add_mux(out, ins[0], ins[1], ins[2])
-        elif op is GateOp.CONST0:
-            cnf.add_unit(-out)
-        elif op is GateOp.CONST1:
-            cnf.add_unit(out)
-        else:  # pragma: no cover - GateOp is closed
-            raise ValueError(f"unknown gate op {op!r}")
 
     # ------------------------------------------------------------------
 

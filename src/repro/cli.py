@@ -79,7 +79,49 @@ def cmd_stats(args) -> int:
         print(f"  outputs:   {', '.join(circuit.outputs)}")
         regs, gates = coi_stats(circuit, circuit.outputs)
         print(f"  output COI: {regs} registers, {gates} gates")
+    if args.perf:
+        _print_perf_profile(circuit, lanes=args.perf_lanes,
+                            cycles=args.perf_cycles)
     return 0
+
+
+def _print_perf_profile(circuit, lanes: int, cycles: int) -> None:
+    """Measure interpreted vs bit-parallel throughput on the loaded
+    design and dump the kernel's perf counters."""
+    import time as _time
+
+    from repro.kernel import PERF, BitParallelSimulator, pack_bits
+    from repro.sim import Simulator
+
+    rng = __import__("random").Random(0)
+    PERF.reset()
+
+    sim = Simulator(circuit)
+    state = sim.initial_state(default=0)
+    start = _time.perf_counter()
+    for _ in range(cycles):
+        inputs = {n: rng.randint(0, 1) for n in circuit.inputs}
+        _, state = sim.step(state, inputs)
+    interp_s = _time.perf_counter() - start
+    interp_pps = cycles / interp_s if interp_s > 0 else float("inf")
+
+    bitsim = BitParallelSimulator(circuit)
+    packed = bitsim.initial_state(lanes, default=0)
+    start = _time.perf_counter()
+    for _ in range(cycles):
+        inputs = {
+            n: pack_bits(rng.getrandbits(lanes), lanes)
+            for n in circuit.inputs
+        }
+        _, packed = bitsim.step(packed, inputs, lanes)
+    kernel_s = _time.perf_counter() - start
+    kernel_pps = lanes * cycles / kernel_s if kernel_s > 0 else float("inf")
+
+    print(f"simulation throughput ({cycles} cycles):")
+    print(f"  interpreted:  {interp_pps:,.0f} patterns/s")
+    print(f"  bit-parallel: {kernel_pps:,.0f} patterns/s ({lanes} lanes, "
+          f"{kernel_pps / interp_pps:.1f}x)" if interp_pps else "")
+    print(PERF.format())
 
 
 def cmd_verify(args) -> int:
@@ -228,6 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="print netlist statistics")
     p_stats.add_argument("netlist")
+    p_stats.add_argument(
+        "--perf", action="store_true",
+        help="measure interpreted vs bit-parallel simulation throughput "
+        "on this design and print the kernel perf counters",
+    )
+    p_stats.add_argument("--perf-lanes", type=int, default=256)
+    p_stats.add_argument("--perf-cycles", type=int, default=64)
     p_stats.set_defaults(func=cmd_stats)
 
     p_verify = sub.add_parser("verify", help="verify an unreachability property")

@@ -43,6 +43,7 @@ from repro.mc.encode import SymbolicEncoding
 from repro.mc.images import ImageComputer
 from repro.mc.reach import ReachLimits, ReachOutcome, ReachResult, forward_reach
 from repro.netlist.circuit import Circuit, NetlistError
+from repro.sim.random_sim import RandomSimulator
 
 CoverageState = Tuple[int, ...]
 
@@ -58,6 +59,14 @@ class CoverageConfig:
     refine_budget: AtpgBudget = field(
         default_factory=lambda: AtpgBudget(max_conflicts=50_000)
     )
+    # Bit-parallel random simulation on the original design before the
+    # CEGAR loop: every coverage state a concrete run visits is marked
+    # reachable up front (sound -- the run is real), shrinking the
+    # undetermined set the expensive trace machinery must chase.  One
+    # lane per run; 0 lanes disables the pre-pass.
+    presim_lanes: int = 64
+    presim_cycles: int = 64
+    presim_seed: int = 0
     log: Optional[callable] = None
 
 
@@ -94,6 +103,7 @@ class CoverageResult:
     seconds: float = 0.0
     fixpoints: int = 0
     traces_found: int = 0
+    presim_marked: int = 0
 
     @property
     def num_unreachable(self) -> int:
@@ -161,6 +171,14 @@ class CoverageAnalyzer:
         def out_of_time() -> bool:
             return config.max_seconds is not None and (
                 time.monotonic() - start > config.max_seconds
+            )
+
+        if config.presim_lanes > 0 and not out_of_time():
+            result.presim_marked = self._presimulate(sets)
+            self._log(
+                f"[cov presim] {result.presim_marked} coverage states "
+                f"marked reachable by {config.presim_lanes}-lane random "
+                f"simulation"
             )
 
         for iteration in range(1, config.max_iterations + 1):
@@ -273,6 +291,24 @@ class CoverageAnalyzer:
         return result
 
     # ------------------------------------------------------------------
+
+    def _presimulate(self, sets: CoverageSets) -> int:
+        """Mark coverage states visited by bit-parallel random simulation
+        of the original design as reachable (Section 3: "mark the reached
+        coverage states").  Returns the number of distinct states marked."""
+        config = self.config
+        sampler = RandomSimulator(self.circuit, seed=config.presim_seed)
+        visited = sampler.sample_reachable_projections(
+            self.signals, runs=config.presim_lanes, cycles=config.presim_cycles
+        )
+        marked = 0
+        for state in visited:
+            cube = sets.bdd.cube(dict(zip(self.signals, state)))
+            if (cube & sets.reachable).is_false:
+                marked += 1
+            sets.reachable = sets.reachable | cube
+            sets.undetermined = sets.undetermined - cube
+        return marked
 
     @staticmethod
     def _earliest_hit(reach: ReachResult, target: Function) -> Optional[int]:

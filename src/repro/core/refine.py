@@ -25,10 +25,11 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.atpg.engine import AtpgBudget, AtpgOutcome, sequential_atpg
 from repro.core.abstraction import Abstraction
-from repro.trace import Trace, cube_conflicts
+from repro.kernel.bitsim import BitParallelSimulator, pack_value, planes_value
+from repro.kernel.perf import PERF
+from repro.trace import Trace
 from repro.netlist.circuit import Circuit
 from repro.sim.logic3 import X
-from repro.sim.simulator import Simulator
 
 
 @dataclass
@@ -56,41 +57,45 @@ def crucial_register_candidates(
     the candidates, ordered by conflict count (then first conflict)."""
     original = abstraction.original
     model = abstraction.model
-    sim = Simulator(original)
+    sim = BitParallelSimulator(original)
 
     conflict_count: Dict[str, int] = {}
     first_conflict: Dict[str, int] = {}
 
-    state: Dict[str, int] = {name: X for name in original.registers}
-    state.update(
-        {
-            name: value
-            for name, value in trace.cube_at(0).items()
-            if original.is_register_output(name)
-        }
-    )
-    for cycle in range(trace.length):
-        cube = trace.cube_at(cycle)
-        register_cube = {
-            name: value
-            for name, value in cube.items()
-            if original.is_register_output(name)
-        }
-        for name in cube_conflicts(register_cube, state):
-            conflict_count[name] = conflict_count.get(name, 0) + 1
-            first_conflict.setdefault(name, cycle)
-        # Use the trace's values from here on (override conflicts and
-        # fill in unknowns) and drive the primary inputs from the trace.
-        drive = dict(register_cube)
-        drive.update(
-            {
+    # Single-lane 3-valued replay on the compiled kernel: every register
+    # starts at X except those the trace's first cube assigns.
+    state = {name: pack_value(X, 1) for name in original.registers}
+    with PERF.timed("kernel.replay"):
+        for name, value in trace.cube_at(0).items():
+            if original.is_register_output(name):
+                state[name] = pack_value(value, 1)
+        for cycle in range(trace.length):
+            cube = trace.cube_at(cycle)
+            register_cube = {
                 name: value
                 for name, value in cube.items()
-                if original.is_input(name)
+                if original.is_register_output(name)
             }
-        )
-        values = sim.evaluate(state, drive)
-        state = sim.next_state(values)
+            for name, expected in register_cube.items():
+                actual = planes_value(state[name], 0)
+                if actual != X and actual != expected:
+                    conflict_count[name] = conflict_count.get(name, 0) + 1
+                    first_conflict.setdefault(name, cycle)
+            # Use the trace's values from here on (override conflicts and
+            # fill in unknowns) and drive the primary inputs from the trace.
+            drive = {
+                name: pack_value(value, 1)
+                for name, value in register_cube.items()
+            }
+            drive.update(
+                {
+                    name: pack_value(value, 1)
+                    for name, value in cube.items()
+                    if original.is_input(name)
+                }
+            )
+            frame = sim.evaluate(state, drive, 1)
+            state = sim.next_state(frame)
 
     in_model = set(model.registers)
     candidates = [

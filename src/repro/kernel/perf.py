@@ -1,0 +1,134 @@
+"""Lightweight performance counters for the compiled kernel.
+
+A process-global :class:`PerfCounters` instance (``PERF``) accumulates
+simulation throughput (gate evaluations, pattern-gate evaluations),
+structural-cache hit rates (compile, topo, COI, Tseitin frame templates)
+and per-phase wall time.  Everything is plain counters -- one dict update
+per *call*, never per gate -- so the instrumentation itself stays off the
+hot path.
+
+Surfaced through ``python -m repro stats --perf`` and the
+``benchmarks/bench_sim_throughput.py`` microbenchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PerfCounters:
+    """Accumulating counters; ``snapshot()`` renders a plain dict."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.gate_evals = 0  # one sweep over one gate (any lane count)
+        self.pattern_gate_evals = 0  # gate sweeps x lanes
+        self.patterns_simulated = 0  # lanes x cycles
+        self.sim_seconds = 0.0
+        self.cache_hits: Dict[str, int] = {}
+        self.cache_misses: Dict[str, int] = {}
+        self.phase_seconds: Dict[str, float] = {}
+        self.phase_calls: Dict[str, int] = {}
+
+    # -- cache accounting ----------------------------------------------
+
+    def hit(self, cache: str, count: int = 1) -> None:
+        self.cache_hits[cache] = self.cache_hits.get(cache, 0) + count
+
+    def miss(self, cache: str, count: int = 1) -> None:
+        self.cache_misses[cache] = self.cache_misses.get(cache, 0) + count
+
+    def hit_rate(self, cache: str) -> float:
+        hits = self.cache_hits.get(cache, 0)
+        total = hits + self.cache_misses.get(cache, 0)
+        return hits / total if total else 0.0
+
+    # -- simulation accounting -----------------------------------------
+
+    def record_sweep(self, gates: int, lanes: int, seconds: float = 0.0) -> None:
+        """One levelized evaluation of ``gates`` gates over ``lanes``
+        bit-parallel patterns."""
+        self.gate_evals += gates
+        self.pattern_gate_evals += gates * lanes
+        self.patterns_simulated += lanes
+        self.sim_seconds += seconds
+
+    @property
+    def pattern_gates_per_second(self) -> float:
+        if self.sim_seconds <= 0.0:
+            return 0.0
+        return self.pattern_gate_evals / self.sim_seconds
+
+    # -- phase timing ----------------------------------------------------
+
+    @contextmanager
+    def timed(self, phase: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + elapsed
+            )
+            self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        caches = {}
+        for name in sorted(set(self.cache_hits) | set(self.cache_misses)):
+            hits = self.cache_hits.get(name, 0)
+            misses = self.cache_misses.get(name, 0)
+            caches[name] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(self.hit_rate(name), 4),
+            }
+        return {
+            "gate_evals": self.gate_evals,
+            "pattern_gate_evals": self.pattern_gate_evals,
+            "patterns_simulated": self.patterns_simulated,
+            "sim_seconds": round(self.sim_seconds, 6),
+            "pattern_gates_per_second": round(self.pattern_gates_per_second),
+            "caches": caches,
+            "phases": {
+                name: {
+                    "seconds": round(self.phase_seconds[name], 6),
+                    "calls": self.phase_calls.get(name, 0),
+                }
+                for name in sorted(self.phase_seconds)
+            },
+        }
+
+    def format(self) -> str:
+        snap = self.snapshot()
+        lines = ["kernel perf counters:"]
+        lines.append(
+            f"  simulation: {snap['pattern_gate_evals']} pattern-gate evals "
+            f"in {snap['sim_seconds']}s "
+            f"({snap['pattern_gates_per_second']:,} pattern-gates/s)"
+        )
+        if snap["caches"]:
+            lines.append("  caches:")
+            for name, info in snap["caches"].items():
+                lines.append(
+                    f"    {name}: {info['hits']} hits / "
+                    f"{info['misses']} misses "
+                    f"({100 * info['hit_rate']:.1f}% hit rate)"
+                )
+        if snap["phases"]:
+            lines.append("  phases:")
+            for name, info in snap["phases"].items():
+                lines.append(
+                    f"    {name}: {info['seconds']}s over "
+                    f"{info['calls']} calls"
+                )
+        return "\n".join(lines)
+
+
+PERF = PerfCounters()

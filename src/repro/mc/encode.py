@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.bdd import BDD, Function
+from repro.kernel.scache import static_order as _cached_static_order
 from repro.netlist.cell import GateOp
 from repro.netlist.circuit import Circuit
 
@@ -96,7 +97,13 @@ class SymbolicEncoding:
         var_order: Optional[Sequence[str]],
         extra_roots: Iterable[str],
     ) -> List[str]:
-        natural = static_variable_order(self.circuit, extra_roots)
+        # Memoized through the kernel's structural cache: re-encoding the
+        # same (unmutated) model in a later CEGAR step skips the DFS.
+        natural = _cached_static_order(
+            self.circuit,
+            lambda: static_variable_order(self.circuit, extra_roots),
+            extra_roots,
+        )
         if var_order is None:
             return natural
         # Keep the saved order for signals that still exist, then append

@@ -38,7 +38,24 @@ class Circuit:
         self._registers: Dict[str, Register] = {}
         self._outputs: Dict[str, None] = {}  # declared ports (informational)
         self._fresh_counter = 0
+        self._generation = 0
         self._topo_cache: Optional[List[Gate]] = None
+        self._support_cache: Dict[str, frozenset] = {}
+        self._coi_cache: Dict[frozenset, frozenset] = {}
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped on every structural change.  Caches
+        keyed by ``(id(circuit), circuit.generation)`` stay coherent."""
+        return self._generation
+
+    def _invalidate_caches(self) -> None:
+        self._generation += 1
+        self._topo_cache = None
+        if self._support_cache:
+            self._support_cache = {}
+        if self._coi_cache:
+            self._coi_cache = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -56,6 +73,7 @@ class Circuit:
         if self.is_defined(name):
             raise NetlistError(f"signal {name!r} already defined")
         self._inputs[name] = None
+        self._invalidate_caches()
         return name
 
     def add_gate(
@@ -70,7 +88,7 @@ class Circuit:
             raise NetlistError(f"signal {output!r} already defined")
         gate = Gate(output=output, op=op, inputs=tuple(inputs))
         self._gates[output] = gate
-        self._topo_cache = None
+        self._invalidate_caches()
         return output
 
     def add_register(
@@ -84,7 +102,7 @@ class Circuit:
         if self.is_defined(output):
             raise NetlistError(f"signal {output!r} already defined")
         self._registers[output] = Register(output=output, data=data, init=init)
-        self._topo_cache = None
+        self._invalidate_caches()
         return output
 
     def mark_output(self, name: str) -> str:
@@ -266,6 +284,82 @@ class Circuit:
                     order.append(gate)
         self._topo_cache = order
         return order
+
+    def support_of_signal(self, signal: str) -> frozenset:
+        """Non-gate signals (primary inputs and register outputs) on the
+        boundary of the combinational cone of one signal.  Memoized until
+        the circuit mutates; the memo is shared across signals, so a sweep
+        over every register data input costs one traversal of the netlist,
+        not one per register."""
+        cached = self._support_cache.get(signal)
+        if cached is not None:
+            return cached
+        gate = self._gates.get(signal)
+        if gate is None:
+            if not self.is_defined(signal):
+                raise NetlistError(f"undefined signal {signal!r}")
+            result = frozenset((signal,))
+            self._support_cache[signal] = result
+            return result
+        # Iterative post-order so deep cones don't recurse; every gate
+        # output on the path gets its support memoized.
+        stack: List[Tuple[str, int]] = [(signal, 0)]
+        on_path: Set[str] = set()
+        while stack:
+            sig, idx = stack.pop()
+            gate = self._gates[sig]
+            if idx == 0:
+                if sig in on_path:
+                    raise NetlistError(
+                        f"combinational cycle through signal {sig!r}"
+                    )
+                on_path.add(sig)
+            if idx < len(gate.inputs):
+                stack.append((sig, idx + 1))
+                child = gate.inputs[idx]
+                if child not in self._support_cache:
+                    child_gate = self._gates.get(child)
+                    if child_gate is None:
+                        if not self.is_defined(child):
+                            raise NetlistError(f"undefined signal {child!r}")
+                        self._support_cache[child] = frozenset((child,))
+                    else:
+                        stack.append((child, 0))
+            else:
+                on_path.discard(sig)
+                if sig not in self._support_cache:
+                    merged: Set[str] = set()
+                    for child in gate.inputs:
+                        merged.update(self._support_cache[child])
+                    self._support_cache[sig] = frozenset(merged)
+        return self._support_cache[signal]
+
+    def coi_registers_of(self, signals: Iterable[str]) -> frozenset:
+        """Registers in the cone of influence of ``signals`` (crossing
+        register boundaries).  Memoized per signal set until mutation."""
+        key = frozenset(signals)
+        cached = self._coi_cache.get(key)
+        if cached is not None:
+            return cached
+        coi: Set[str] = set()
+        frontier: List[str] = []
+        for sig in key:
+            for sup in self.support_of_signal(sig):
+                if sup in self._registers:
+                    frontier.append(sup)
+            if sig in self._registers:
+                frontier.append(sig)
+        while frontier:
+            reg_out = frontier.pop()
+            if reg_out in coi:
+                continue
+            coi.add(reg_out)
+            for sup in self.support_of_signal(self._registers[reg_out].data):
+                if sup in self._registers and sup not in coi:
+                    frontier.append(sup)
+        result = frozenset(coi)
+        self._coi_cache[key] = result
+        return result
 
     def fanout_map(self) -> Dict[str, List[str]]:
         """Map each signal to the outputs of the cells that read it."""

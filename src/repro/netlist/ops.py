@@ -40,22 +40,12 @@ def combinational_cone(circuit: Circuit, signals: Iterable[str]) -> Set[str]:
 
 def support_of(circuit: Circuit, signals: Iterable[str]) -> Set[str]:
     """Non-gate signals (primary inputs and register outputs) on the boundary
-    of the combinational cone of ``signals``."""
+    of the combinational cone of ``signals``.  Backed by the circuit's
+    per-signal support memo, so repeated structural queries during
+    abstraction refinement re-traverse nothing."""
     support: Set[str] = set()
-    seen: Set[str] = set()
-    stack = list(signals)
-    while stack:
-        sig = stack.pop()
-        if sig in seen:
-            continue
-        seen.add(sig)
-        gate = circuit.gates.get(sig)
-        if gate is None:
-            if not circuit.is_defined(sig):
-                raise NetlistError(f"undefined signal {sig!r}")
-            support.add(sig)
-        else:
-            stack.extend(gate.inputs)
+    for sig in signals:
+        support.update(circuit.support_of_signal(sig))
     return support
 
 
@@ -63,25 +53,9 @@ def coi_registers(circuit: Circuit, signals: Iterable[str]) -> Set[str]:
     """Registers in the cone of influence of ``signals``: the least set of
     registers containing every register whose output the signals (or the
     data inputs of registers already in the set) combinationally depend on,
-    plus any of ``signals`` that are register outputs themselves."""
-    coi: Set[str] = set()
-    frontier: List[str] = []
-    for sig in support_of(circuit, signals):
-        if circuit.is_register_output(sig):
-            frontier.append(sig)
-    for sig in signals:
-        if circuit.is_register_output(sig):
-            frontier.append(sig)
-    while frontier:
-        reg_out = frontier.pop()
-        if reg_out in coi:
-            continue
-        coi.add(reg_out)
-        data = circuit.registers[reg_out].data
-        for sig in support_of(circuit, [data]):
-            if circuit.is_register_output(sig) and sig not in coi:
-                frontier.append(sig)
-    return coi
+    plus any of ``signals`` that are register outputs themselves.  Cached
+    on the circuit per signal set, invalidated on mutation."""
+    return set(circuit.coi_registers_of(signals))
 
 
 def coi_stats(circuit: Circuit, signals: Iterable[str]) -> Tuple[int, int]:

@@ -60,6 +60,38 @@ class CNF:
         for clause in clauses:
             self.add_clause(clause)
 
+    # -- bulk operations for cached encodings ---------------------------
+
+    def alloc_block(self, names: Sequence[Optional[str]]) -> int:
+        """Allocate ``len(names)`` consecutive variables at once; entry
+        ``i`` (if not ``None``) names variable ``base + i + 1``.  Returns
+        ``base``, the variable count before allocation -- template literal
+        ``k`` instantiates as ``base + k``."""
+        base = self.num_vars
+        self.num_vars += len(names)
+        name2var = self._name2var
+        var2name = self._var2name
+        for i, name in enumerate(names):
+            if name is not None:
+                if name in name2var:
+                    raise ValueError(f"variable name {name!r} already in use")
+                var = base + i + 1
+                name2var[name] = var
+                var2name[var] = name
+        return base
+
+    def add_offset_clauses(
+        self, clauses: Iterable[Sequence[int]], offset: int
+    ) -> None:
+        """Append pre-deduplicated clause templates, shifting every
+        literal's variable by ``offset``.  Skips the per-literal range and
+        tautology checks of :meth:`add_clause` -- callers guarantee the
+        templates are clean (they were built through ``add_clause``)."""
+        self.clauses.extend(
+            [lit + offset if lit > 0 else lit - offset for lit in clause]
+            for clause in clauses
+        )
+
     # -- convenience encodings -----------------------------------------
 
     def add_unit(self, lit: int) -> None:

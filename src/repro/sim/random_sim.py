@@ -3,6 +3,13 @@
 Used as a cheap semantic oracle in tests (cross-checking the BDD and ATPG
 engines against concrete runs) and for marking reachable coverage states in
 the coverage-analysis flow (Section 3: "mark the reached coverage states").
+
+The heavy lifting runs on the bit-parallel kernel
+(:class:`repro.kernel.BitParallelSimulator`): ``sample_reachable_projections``
+packs every run into its own lane and sweeps the compiled circuit once per
+cycle, so sampling 64 runs costs roughly one interpreted run.  The
+interpreted :class:`Simulator` stays available as a reference oracle via
+``use_kernel=False``.
 """
 
 from __future__ import annotations
@@ -10,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.kernel.bitsim import BitParallelSimulator, pack_bits, pack_value
 from repro.netlist.circuit import Circuit
 from repro.sim.simulator import Simulator, Valuation
 
@@ -17,10 +25,14 @@ from repro.sim.simulator import Simulator, Valuation
 class RandomSimulator:
     """Drives a circuit with uniformly random primary-input vectors."""
 
-    def __init__(self, circuit: Circuit, seed: int = 0) -> None:
+    def __init__(
+        self, circuit: Circuit, seed: int = 0, use_kernel: bool = True
+    ) -> None:
         self.circuit = circuit
         self.sim = Simulator(circuit)
         self.rng = random.Random(seed)
+        self.use_kernel = use_kernel
+        self._bitsim = BitParallelSimulator(circuit) if use_kernel else None
 
     def random_inputs(self) -> Valuation:
         return {name: self.rng.randint(0, 1) for name in self.circuit.inputs}
@@ -37,7 +49,31 @@ class RandomSimulator:
             for name, reg in self.circuit.registers.items():
                 if reg.init is None:
                     state[name] = self.rng.randint(0, 1)
-        return self.sim.run([self.random_inputs() for _ in range(cycles)], state)
+        input_sequence = [self.random_inputs() for _ in range(cycles)]
+        if self._bitsim is None:
+            return self.sim.run(input_sequence, state)
+        bitsim = self._bitsim
+        packed_state = {
+            name: pack_value(value, 1) for name, value in state.items()
+        }
+        frames: List[Valuation] = []
+        for inputs in input_sequence:
+            packed_inputs = {
+                name: pack_value(value, 1) for name, value in inputs.items()
+            }
+            frame, packed_state = bitsim.step(packed_state, packed_inputs, 1)
+            frames.append(frame.lane_valuation(0))
+        return frames
+
+    def _random_lane_states(self, lanes: int) -> Dict[str, Tuple[int, int]]:
+        """Packed reset state with free-init registers randomized per lane."""
+        state: Dict[str, Tuple[int, int]] = {}
+        for name, reg in self.circuit.registers.items():
+            if reg.init is None:
+                state[name] = pack_bits(self.rng.getrandbits(lanes), lanes)
+            else:
+                state[name] = pack_value(reg.init, lanes)
+        return state
 
     def sample_reachable_projections(
         self,
@@ -49,6 +85,27 @@ class RandomSimulator:
         ``signals`` observed at the *start* of each cycle (i.e. in reachable
         states).  The reset-state projection is included."""
         sig_list = list(signals)
+        if self._bitsim is None:
+            return self._sample_interpreted(sig_list, runs, cycles)
+        bitsim = self._bitsim
+        cc = bitsim.compiled
+        indices = [cc.index_of(s) for s in sig_list]
+        seen: Set[Tuple[int, ...]] = set()
+        state = self._random_lane_states(runs)
+        for _ in range(cycles):
+            inputs = {
+                name: pack_bits(self.rng.getrandbits(runs), runs)
+                for name in self.circuit.inputs
+            }
+            frame, state = bitsim.step(state, inputs, runs)
+            for lane in range(runs):
+                seen.add(frame.project(indices, lane))
+        return seen
+
+    def _sample_interpreted(
+        self, sig_list: List[str], runs: int, cycles: int
+    ) -> Set[Tuple[int, ...]]:
+        """Reference-oracle path: one interpreted run per sample."""
         seen: Set[Tuple[int, ...]] = set()
         for _ in range(runs):
             state = self.sim.initial_state(default=0)

@@ -12,7 +12,7 @@ unassigned registers and inputs at X (Section 2.4).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.netlist.circuit import Circuit
 from repro.sim.logic3 import X, eval_gate
@@ -83,22 +83,30 @@ class Simulator:
         values = self.evaluate(state, inputs)
         return values, self.next_state(values)
 
+    def iter_run(
+        self,
+        input_sequence: Iterable[Mapping[str, int]],
+        state: Optional[Mapping[str, int]] = None,
+    ) -> Iterator[Valuation]:
+        """Lazily yield the full valuation of each cycle, starting from
+        ``state`` (default: the reset state); the state after cycle ``i``
+        feeds cycle ``i + 1``.  Nothing is simulated past the point the
+        consumer stops iterating, so searches can short-circuit."""
+        current: Valuation = (
+            dict(state) if state is not None else self.initial_state()
+        )
+        for inputs in input_sequence:
+            values, current = self.step(current, inputs)
+            yield values
+
     def run(
         self,
         input_sequence: Iterable[Mapping[str, int]],
         state: Optional[Mapping[str, int]] = None,
     ) -> List[Valuation]:
-        """Simulate a sequence of input vectors from ``state`` (default:
-        the reset state).  Returns the per-cycle full valuations; the state
-        after cycle ``i`` feeds cycle ``i + 1``."""
-        current: Valuation = (
-            dict(state) if state is not None else self.initial_state()
-        )
-        frames: List[Valuation] = []
-        for inputs in input_sequence:
-            values, current = self.step(current, inputs)
-            frames.append(values)
-        return frames
+        """Eager form of :meth:`iter_run`: the per-cycle valuations as a
+        list."""
+        return list(self.iter_run(input_sequence, state))
 
     def reaches(
         self,
@@ -107,8 +115,9 @@ class Simulator:
         value: int,
         state: Optional[Mapping[str, int]] = None,
     ) -> bool:
-        """Does ``signal`` take ``value`` at any cycle of the run?"""
-        for frame in self.run(input_sequence, state):
+        """Does ``signal`` take ``value`` at any cycle of the run?
+        Streams the simulation and stops at the first hit."""
+        for frame in self.iter_run(input_sequence, state):
             if frame[signal] == value:
                 return True
         return False
