@@ -6,15 +6,19 @@ Commands
 ``verify``     run RFN (or the plain COI model checker) on a property
 ``coverage``   unreachable-coverage-state analysis (RFN or BFS method)
 ``simulate``   random simulation with a rendered waveform
+``fuzz``       differential fuzzing of the verification engines
 
 Netlists use the text format of :mod:`repro.netlist.textio` (see
 ``examples/netlist_files.py``).  Exit codes for ``verify``: 0 = property
 holds, 1 = falsified, 2 = resource limit reached, 3 = usage error.
+For ``fuzz``: 0 = all engines agreed and every certificate held,
+1 = at least one finding (reproducers are shrunk into the corpus).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
@@ -257,6 +261,51 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import GenConfig, OracleConfig, run_campaign
+
+    gen_config = GenConfig(
+        max_registers=args.max_registers, max_gates=args.max_gates
+    )
+    result = run_campaign(
+        seed=args.seed,
+        iters=args.iters,
+        budget_seconds=args.budget,
+        gen_config=gen_config,
+        oracle_config=OracleConfig(),
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        log=print if args.verbose else None,
+    )
+    payload = result.to_json()
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report}")
+    verdicts = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(result.verdict_counts.items())
+    ) or "none"
+    print(
+        f"fuzz: {result.iterations_run}/{args.iters} iterations "
+        f"(seed {args.seed}) in {result.seconds:.1f}s; "
+        f"engine verdicts: {verdicts}"
+    )
+    if result.budget_exhausted:
+        print(f"budget of {args.budget:.0f}s exhausted early")
+    if result.ok:
+        print("no engine disagreements, no failed certificates")
+        return 0
+    print(f"{len(result.findings)} FINDING(S):")
+    for finding in result.findings:
+        print(f"  seed {finding.seed}: "
+              f"{'; '.join(finding.report.disagreements + finding.report.failed_certificates + finding.report.errors)}")
+        if finding.reproducer_path:
+            print(f"    reproducer: {finding.reproducer_path}")
+    return 1
+
+
 # ----------------------------------------------------------------------
 
 
@@ -327,6 +376,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--signals", help="comma-separated signals to show")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random designs through every engine",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--iters", type=int, default=50,
+                        help="number of generated instances")
+    p_fuzz.add_argument("--budget", type=float, default=None,
+                        help="wall-clock budget in seconds")
+    p_fuzz.add_argument("--corpus",
+                        help="directory for shrunk reproducers "
+                        "(e.g. tests/corpus)")
+    p_fuzz.add_argument("--report", help="write a JSON run report here")
+    p_fuzz.add_argument("--max-registers", type=int, default=4,
+                        help="plain-register ceiling per instance")
+    p_fuzz.add_argument("--max-gates", type=int, default=16)
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of findings")
+    p_fuzz.add_argument("--verbose", action="store_true")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

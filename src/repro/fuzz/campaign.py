@@ -1,0 +1,184 @@
+"""The fuzz-loop driver behind ``repro fuzz`` and the CI smoke job.
+
+One campaign is a seeded sequence of generate -> oracle -> (on finding)
+shrink -> persist iterations.  The per-iteration seed is ``seed + i``,
+so ``--seed 0 --iters 50`` names the exact same 50 instances on every
+machine, and a reproducer's filename records the seed that produced it.
+
+Findings are shrunk with a *focused* predicate: only the engines
+involved in the disagreement (plus the kernel ground truth) are re-run
+while delta-debugging, which keeps shrinking fast even though the full
+oracle runs four engines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.fuzz.gen import FuzzInstance, GenConfig, generate_instance
+from repro.fuzz.oracle import (
+    DEFAULT_ENGINES,
+    OracleConfig,
+    OracleReport,
+    Verdict,
+    run_oracle,
+)
+from repro.fuzz.shrink import save_reproducer, shrink_instance
+
+
+@dataclass
+class Finding:
+    seed: int
+    report: OracleReport
+    reproducer_path: Optional[str] = None
+    shrunk_stats: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "report": self.report.to_json(),
+            "reproducer": self.reproducer_path,
+            "shrunk": self.shrunk_stats,
+        }
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    iterations_run: int = 0
+    instances: List[dict] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    verdict_counts: Dict[str, int] = field(default_factory=dict)
+    budget_exhausted: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations_run": self.iterations_run,
+            "ok": self.ok,
+            "verdict_counts": dict(self.verdict_counts),
+            "findings": [f.to_json() for f in self.findings],
+            "instances": list(self.instances),
+            "budget_exhausted": self.budget_exhausted,
+            "seconds": round(self.seconds, 3),
+        }
+
+
+def _finding_engines(report: OracleReport) -> List[str]:
+    """Engines to re-run while shrinking: the ones with definite or
+    broken verdicts, plus the kernel ground truth."""
+    involved = {
+        v.engine
+        for v in report.verdicts
+        if v.verdict in (Verdict.VERIFIED, Verdict.FALSIFIED, Verdict.ERROR)
+        or v.certificate == "failed"
+    }
+    involved.add("kernel")
+    return [name for name in DEFAULT_ENGINES if name in involved]
+
+
+def _reproduces(reference: OracleReport, candidate: OracleReport) -> bool:
+    """Does the candidate report show the same *kind* of finding?"""
+    if reference.disagreements and candidate.disagreements:
+        return True
+    if reference.failed_certificates and candidate.failed_certificates:
+        return True
+    if reference.errors and candidate.errors:
+        return True
+    return False
+
+
+def shrink_finding(
+    instance: FuzzInstance,
+    report: OracleReport,
+    oracle_config: OracleConfig,
+    engines: Optional[Sequence[str]] = None,
+    max_checks: int = 400,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzInstance:
+    """Delta-debug a flagged instance down to a minimal reproducer."""
+    focus = list(engines) if engines is not None else _finding_engines(report)
+
+    def predicate(candidate: FuzzInstance) -> bool:
+        candidate_report = run_oracle(
+            candidate.circuit, candidate.prop, oracle_config, engines=focus
+        )
+        return _reproduces(report, candidate_report)
+
+    return shrink_instance(
+        instance, predicate, max_checks=max_checks, log=log
+    )
+
+
+def run_campaign(
+    seed: int = 0,
+    iters: int = 50,
+    budget_seconds: Optional[float] = None,
+    gen_config: Optional[GenConfig] = None,
+    oracle_config: Optional[OracleConfig] = None,
+    engines: Optional[Sequence[str]] = None,
+    corpus_dir: Optional[str] = None,
+    shrink: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run ``iters`` differential iterations starting at ``seed``.
+
+    Stops early when ``budget_seconds`` runs out.  When ``corpus_dir``
+    is given, every finding is shrunk and persisted there as
+    ``fuzz<seed>.net``.
+    """
+    gen_config = gen_config or GenConfig()
+    oracle_config = oracle_config or OracleConfig()
+    result = CampaignResult(seed=seed)
+    start = time.monotonic()
+
+    def note(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    for index in range(iters):
+        if budget_seconds is not None and (
+            time.monotonic() - start > budget_seconds
+        ):
+            result.budget_exhausted = True
+            note(f"budget exhausted after {index} iterations")
+            break
+        instance_seed = seed + index
+        instance = generate_instance(instance_seed, gen_config)
+        report = run_oracle(
+            instance.circuit, instance.prop, oracle_config, engines=engines
+        )
+        result.iterations_run += 1
+        stats = instance.stats()
+        stats["ok"] = report.ok
+        consensus = report.consensus
+        stats["consensus"] = None if consensus is None else consensus.value
+        result.instances.append(stats)
+        for verdict in report.verdicts:
+            key = verdict.verdict.value
+            result.verdict_counts[key] = result.verdict_counts.get(key, 0) + 1
+        note(report.summary())
+        if report.ok:
+            continue
+
+        finding = Finding(seed=instance_seed, report=report)
+        result.findings.append(finding)
+        if shrink:
+            shrunk = shrink_finding(
+                instance, report, oracle_config, log=log
+            )
+            finding.shrunk_stats = shrunk.stats()
+            if corpus_dir is not None:
+                finding.reproducer_path = save_reproducer(
+                    shrunk, corpus_dir, stem=f"fuzz{instance_seed}"
+                )
+                note(f"reproducer saved to {finding.reproducer_path}")
+    result.seconds = time.monotonic() - start
+    return result

@@ -1,0 +1,503 @@
+"""The differential oracle: one instance, every engine, one verdict.
+
+Each engine answers "is the property's target cube reachable?" through a
+completely different mechanism:
+
+- ``bmc``     -- SAT bounded model checking with simple-path k-induction,
+- ``bdd``     -- BDD forward reachability on the COI-reduced design,
+- ``rfn``     -- the full abstraction-refinement CEGAR loop,
+- ``kernel``  -- exhaustive explicit-state search, with the next-state
+  function evaluated by the bit-parallel kernel simulator (a complete
+  ground truth on the small circuits the fuzzer generates).
+
+Verdicts are normalized to VERIFIED / FALSIFIED / UNKNOWN; UNKNOWN
+(a resource limit) never counts as disagreement.  Every verdict that
+carries an artifact is independently certified through
+:mod:`repro.core.certify`:
+
+- FALSIFIED traces are replayed on the simulator (``certify_error_trace``),
+- VERIFIED answers with an inductive-invariant BDD (``bdd`` fixpoints and
+  ``rfn`` results) are discharged as SAT obligations **on the original
+  circuit** (``certify_invariant``) -- one engine's proof becomes the
+  other engine's theorem.
+
+A ``bmc`` TRUE comes from a k-induction proof with no exportable
+artifact and is cross-checked only by agreement.
+
+Any VERIFIED/FALSIFIED split, failed certificate, or engine exception is
+a finding: :attr:`OracleReport.ok` is False and the shrinker takes over.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.certify import certify_error_trace, certify_invariant
+from repro.core.property import UnreachabilityProperty
+from repro.core.rfn import RFN, RfnConfig, RfnStatus
+from repro.kernel import BitParallelSimulator
+from repro.kernel.bitsim import pack_lanes, planes_value
+from repro.mc.bmc import BmcOutcome, bmc
+from repro.mc.checker import _extract_error_trace
+from repro.mc.encode import SymbolicEncoding
+from repro.mc.images import ImageComputer
+from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
+from repro.netlist.circuit import Circuit
+from repro.netlist.ops import coi_registers, extract_subcircuit
+from repro.trace import Trace
+
+
+class Verdict(enum.Enum):
+    VERIFIED = "verified"
+    FALSIFIED = "falsified"
+    UNKNOWN = "unknown"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Per-engine budgets.  Defaults are sized for the fuzzer's small
+    circuits; every limit degrades the verdict to UNKNOWN, never to a
+    wrong answer."""
+
+    bmc_max_depth: int = 34
+    bmc_max_conflicts: Optional[int] = 200_000
+    bdd_max_nodes: Optional[int] = 500_000
+    bdd_max_seconds: Optional[float] = 20.0
+    rfn_max_seconds: Optional[float] = 20.0
+    # Kernel explicit-state search: caps on the exhaustive enumeration.
+    kernel_max_states: int = 1 << 13
+    kernel_max_inputs: int = 6
+    kernel_max_free_init: int = 4
+    kernel_chunk_lanes: int = 256
+    certify: bool = True
+    certify_max_conflicts: Optional[int] = 500_000
+
+
+@dataclass
+class EngineVerdict:
+    engine: str
+    verdict: Verdict
+    detail: str = ""
+    seconds: float = 0.0
+    trace: Optional[Trace] = None
+    # Certification outcome: None = no artifact to check.
+    certificate: Optional[str] = None
+    certificate_detail: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "engine": self.engine,
+            "verdict": self.verdict.value,
+            "detail": self.detail,
+            "seconds": round(self.seconds, 4),
+            "trace_length": None if self.trace is None else self.trace.length,
+            "certificate": self.certificate,
+            "certificate_detail": self.certificate_detail,
+        }
+
+
+@dataclass
+class OracleReport:
+    name: str
+    verdicts: List[EngineVerdict] = field(default_factory=list)
+    disagreements: List[str] = field(default_factory=list)
+    failed_certificates: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.disagreements or self.failed_certificates or self.errors)
+
+    @property
+    def consensus(self) -> Optional[Verdict]:
+        """The agreed definite verdict, or None if there is none."""
+        definite = {
+            v.verdict
+            for v in self.verdicts
+            if v.verdict in (Verdict.VERIFIED, Verdict.FALSIFIED)
+        }
+        if len(definite) == 1:
+            return next(iter(definite))
+        return None
+
+    def verdict_of(self, engine: str) -> Optional[EngineVerdict]:
+        for v in self.verdicts:
+            if v.engine == engine:
+                return v
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "consensus": None if self.consensus is None else self.consensus.value,
+            "verdicts": [v.to_json() for v in self.verdicts],
+            "disagreements": list(self.disagreements),
+            "failed_certificates": list(self.failed_certificates),
+            "errors": list(self.errors),
+            "seconds": round(self.seconds, 4),
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{v.engine}={v.verdict.value}" for v in self.verdicts
+        ]
+        flag = "ok" if self.ok else "FINDING"
+        return f"{self.name}: {' '.join(parts)} [{flag}]"
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+
+
+def _run_bmc(
+    circuit: Circuit, prop: UnreachabilityProperty, config: OracleConfig
+) -> EngineVerdict:
+    # With simple-path constraints k-induction is complete at the
+    # recurrence diameter; cap the unrolling at the state-count bound.
+    depth = min(config.bmc_max_depth, (1 << circuit.num_registers) + 2)
+    result = bmc(
+        circuit,
+        prop,
+        max_depth=depth,
+        max_conflicts=config.bmc_max_conflicts,
+        induction=True,
+        unique_states=True,
+    )
+    if result.outcome is BmcOutcome.TRUE:
+        return EngineVerdict(
+            "bmc",
+            Verdict.VERIFIED,
+            detail=f"k-induction at depth {result.induction_depth}",
+            seconds=result.seconds,
+        )
+    if result.outcome is BmcOutcome.FALSE:
+        return EngineVerdict(
+            "bmc",
+            Verdict.FALSIFIED,
+            detail=f"counterexample at depth {result.depth}",
+            seconds=result.seconds,
+            trace=result.trace,
+        )
+    return EngineVerdict(
+        "bmc", Verdict.UNKNOWN, detail=f"depth {depth} exhausted",
+        seconds=result.seconds,
+    )
+
+
+def _run_bdd(
+    circuit: Circuit, prop: UnreachabilityProperty, config: OracleConfig
+) -> EngineVerdict:
+    """Forward reachability on the COI reduction.  Run directly (not via
+    ``model_check_coi``) so a FIXPOINT exposes its reached-set BDD as a
+    certifiable inductive invariant."""
+    start = time.monotonic()
+    prop.validate_against(circuit)
+    coi = coi_registers(circuit, prop.signals())
+    reduced = extract_subcircuit(
+        circuit, coi, prop.signals(), name=f"{circuit.name}.coi"
+    )
+    encoding = SymbolicEncoding(reduced)
+    encoding.bdd.auto_reorder = True
+    images = ImageComputer(encoding)
+    target = encoding.state_cube(dict(prop.target))
+    limits = ReachLimits(
+        max_nodes=config.bdd_max_nodes, max_seconds=config.bdd_max_seconds
+    )
+    reach = forward_reach(
+        images, encoding.initial_states(), target=target, limits=limits
+    )
+    seconds = time.monotonic() - start
+    if reach.outcome is ReachOutcome.FIXPOINT:
+        verdict = EngineVerdict(
+            "bdd",
+            Verdict.VERIFIED,
+            detail=f"fixpoint after {reach.iterations} images",
+            seconds=seconds,
+        )
+        verdict.invariant = reach.reached  # type: ignore[attr-defined]
+        verdict.invariant_encoding = encoding  # type: ignore[attr-defined]
+        return verdict
+    if reach.outcome is ReachOutcome.TARGET_HIT:
+        trace = _extract_error_trace(encoding, images, reach, target)
+        return EngineVerdict(
+            "bdd",
+            Verdict.FALSIFIED,
+            detail=f"target hit in ring {reach.hit_ring}",
+            seconds=seconds,
+            trace=trace,
+        )
+    return EngineVerdict(
+        "bdd", Verdict.UNKNOWN, detail="resource limit", seconds=seconds
+    )
+
+
+def _run_rfn(
+    circuit: Circuit, prop: UnreachabilityProperty, config: OracleConfig
+) -> EngineVerdict:
+    rfn_config = RfnConfig(max_seconds=config.rfn_max_seconds)
+    result = RFN(circuit, prop, rfn_config).run()
+    if result.status is RfnStatus.VERIFIED:
+        verdict = EngineVerdict(
+            "rfn",
+            Verdict.VERIFIED,
+            detail=(
+                f"{len(result.iterations)} iterations, "
+                f"{result.abstract_model_registers} abstract registers"
+            ),
+            seconds=result.seconds,
+        )
+        verdict.invariant = result.invariant  # type: ignore[attr-defined]
+        verdict.invariant_encoding = result.invariant_encoding  # type: ignore[attr-defined]
+        return verdict
+    if result.status is RfnStatus.FALSIFIED:
+        return EngineVerdict(
+            "rfn",
+            Verdict.FALSIFIED,
+            detail=f"{len(result.iterations)} iterations",
+            seconds=result.seconds,
+            trace=result.trace,
+        )
+    return EngineVerdict(
+        "rfn", Verdict.UNKNOWN, detail=result.detail, seconds=result.seconds
+    )
+
+
+def _run_kernel(
+    circuit: Circuit, prop: UnreachabilityProperty, config: OracleConfig
+) -> EngineVerdict:
+    """Exhaustive breadth-first reachability with bit-parallel next-state
+    evaluation: every (frontier state, input vector) pair is one lane of
+    a kernel sweep.  Complete whenever the caps hold, which the fuzz
+    generator guarantees by construction."""
+    start = time.monotonic()
+    prop.validate_against(circuit)
+    registers = list(circuit.registers)
+    inputs = list(circuit.inputs)
+    if len(inputs) > config.kernel_max_inputs:
+        return EngineVerdict(
+            "kernel", Verdict.UNKNOWN,
+            detail=f"{len(inputs)} inputs exceed exhaustive cap",
+        )
+    free = [r for r in registers if circuit.registers[r].init is None]
+    if len(free) > config.kernel_max_free_init:
+        return EngineVerdict(
+            "kernel", Verdict.UNKNOWN,
+            detail=f"{len(free)} free-init registers exceed cap",
+        )
+
+    input_vectors = [
+        dict(zip(inputs, bits))
+        for bits in itertools.product((0, 1), repeat=len(inputs))
+    ]
+    base = {
+        name: reg.init
+        for name, reg in circuit.registers.items()
+        if reg.init is not None
+    }
+    initial_states = []
+    for bits in itertools.product((0, 1), repeat=len(free)):
+        state = dict(base)
+        state.update(zip(free, bits))
+        initial_states.append(state)
+
+    def key_of(state: Mapping[str, int]) -> Tuple[int, ...]:
+        return tuple(state[r] for r in registers)
+
+    def make_trace(last_key: Tuple[int, ...]) -> Trace:
+        # Walk parent pointers back to an initial state; the bad state
+        # itself becomes the final cycle with a vacuous input vector
+        # (the shape mc.checker produces).
+        path: List[Tuple[int, ...]] = []
+        steps: List[Dict[str, int]] = []
+        key: Optional[Tuple[int, ...]] = last_key
+        while key is not None:
+            path.append(key)
+            parent_key, via = parent[key]
+            if via is not None:
+                steps.append(via)
+            key = parent_key
+        path.reverse()
+        steps.reverse()
+        states = [dict(zip(registers, k)) for k in path]
+        steps.append({name: 0 for name in inputs})
+        return Trace(states=states, inputs=steps, circuit_name=circuit.name)
+
+    parent: Dict[Tuple[int, ...], Tuple[Optional[Tuple[int, ...]], Optional[Dict[str, int]]]] = {}
+    frontier: List[Dict[str, int]] = []
+    for state in initial_states:
+        key = key_of(state)
+        if key in parent:
+            continue
+        parent[key] = (None, None)
+        if prop.holds_in_state(state):
+            return EngineVerdict(
+                "kernel",
+                Verdict.FALSIFIED,
+                detail="bad initial state",
+                seconds=time.monotonic() - start,
+                trace=make_trace(key),
+            )
+        frontier.append(state)
+
+    sim = BitParallelSimulator(circuit)
+    explored = 0
+    while frontier:
+        if len(parent) > config.kernel_max_states:
+            return EngineVerdict(
+                "kernel", Verdict.UNKNOWN,
+                detail=f"state cap {config.kernel_max_states} exceeded",
+                seconds=time.monotonic() - start,
+            )
+        pairs = [
+            (state, vector) for state in frontier for vector in input_vectors
+        ]
+        frontier = []
+        for lo in range(0, len(pairs), config.kernel_chunk_lanes):
+            chunk = pairs[lo : lo + config.kernel_chunk_lanes]
+            lanes = len(chunk)
+            frame = sim.evaluate(
+                pack_lanes([p[0] for p in chunk]),
+                pack_lanes([p[1] for p in chunk]),
+                lanes,
+            )
+            next_planes = sim.next_state(frame)
+            explored += lanes
+            for lane, (state, vector) in enumerate(chunk):
+                successor = {
+                    r: planes_value(next_planes[r], lane) for r in registers
+                }
+                key = key_of(successor)
+                if key in parent:
+                    continue
+                parent[key] = (key_of(state), dict(vector))
+                if prop.holds_in_state(successor):
+                    return EngineVerdict(
+                        "kernel",
+                        Verdict.FALSIFIED,
+                        detail=(
+                            f"bad state after exploring {explored} edges"
+                        ),
+                        seconds=time.monotonic() - start,
+                        trace=make_trace(key),
+                    )
+                frontier.append(successor)
+    return EngineVerdict(
+        "kernel",
+        Verdict.VERIFIED,
+        detail=f"{len(parent)} reachable states, no bad state",
+        seconds=time.monotonic() - start,
+    )
+
+
+EngineRunner = Callable[[Circuit, UnreachabilityProperty, OracleConfig], EngineVerdict]
+
+# Name -> runner.  Tests monkeypatch entries here (or the module-level
+# ``bmc``/``RFN``/... references) to inject deliberate engine bugs.
+ENGINES: Dict[str, EngineRunner] = {
+    "bmc": _run_bmc,
+    "bdd": _run_bdd,
+    "rfn": _run_rfn,
+    "kernel": _run_kernel,
+}
+
+DEFAULT_ENGINES: Tuple[str, ...] = ("bmc", "bdd", "rfn", "kernel")
+
+
+# ----------------------------------------------------------------------
+# Certification and cross-checking
+# ----------------------------------------------------------------------
+
+
+def _certify_verdict(
+    circuit: Circuit,
+    prop: UnreachabilityProperty,
+    verdict: EngineVerdict,
+    config: OracleConfig,
+) -> None:
+    """Attach an independent certificate to a definite verdict."""
+    if verdict.verdict is Verdict.FALSIFIED and verdict.trace is not None:
+        cert = certify_error_trace(circuit, prop, verdict.trace)
+        verdict.certificate = cert.status.value
+        verdict.certificate_detail = "; ".join(
+            f"{k}: {v}" for k, v in cert.obligations.items()
+        )
+        return
+    invariant = getattr(verdict, "invariant", None)
+    encoding = getattr(verdict, "invariant_encoding", None)
+    if (
+        verdict.verdict is Verdict.VERIFIED
+        and invariant is not None
+        and encoding is not None
+    ):
+        cert = certify_invariant(
+            circuit,
+            prop,
+            invariant,
+            encoding,
+            max_conflicts=config.certify_max_conflicts,
+        )
+        verdict.certificate = cert.status.value
+        verdict.certificate_detail = "; ".join(
+            f"{k}: {v}" for k, v in cert.obligations.items()
+        )
+
+
+def run_oracle(
+    circuit: Circuit,
+    prop: UnreachabilityProperty,
+    config: Optional[OracleConfig] = None,
+    engines: Optional[Sequence[str]] = None,
+) -> OracleReport:
+    """Run every engine on one instance and reconcile the verdicts."""
+    config = config or OracleConfig()
+    names = tuple(engines) if engines is not None else DEFAULT_ENGINES
+    report = OracleReport(name=circuit.name)
+    start = time.monotonic()
+    for name in names:
+        runner = ENGINES[name]
+        engine_start = time.monotonic()
+        try:
+            verdict = runner(circuit, prop, config)
+        except Exception as error:  # an engine crash is itself a finding
+            verdict = EngineVerdict(
+                name,
+                Verdict.ERROR,
+                detail=f"{type(error).__name__}: {error}",
+                seconds=time.monotonic() - engine_start,
+            )
+            report.errors.append(f"{name}: {verdict.detail}")
+        report.verdicts.append(verdict)
+        if config.certify and verdict.verdict in (
+            Verdict.VERIFIED, Verdict.FALSIFIED
+        ):
+            try:
+                _certify_verdict(circuit, prop, verdict, config)
+            except Exception as error:
+                verdict.certificate = "failed"
+                verdict.certificate_detail = (
+                    f"certifier crashed: {type(error).__name__}: {error}"
+                )
+            if verdict.certificate == "failed":
+                report.failed_certificates.append(
+                    f"{name}: {verdict.certificate_detail}"
+                )
+
+    definite = [
+        v for v in report.verdicts
+        if v.verdict in (Verdict.VERIFIED, Verdict.FALSIFIED)
+    ]
+    for a, b in itertools.combinations(definite, 2):
+        if a.verdict is not b.verdict:
+            report.disagreements.append(
+                f"{a.engine}={a.verdict.value} vs {b.engine}={b.verdict.value}"
+            )
+    report.seconds = time.monotonic() - start
+    return report

@@ -1,0 +1,310 @@
+"""Delta-debugging of failing fuzz instances, and the reproducer corpus.
+
+When the oracle flags a finding -- an engine disagreement, a failed
+certificate, an engine crash -- the raw instance is rarely the story:
+most of its gates are bystanders.  :func:`shrink_instance` greedily
+reduces the circuit while a caller-supplied predicate ("the finding
+still reproduces") keeps holding:
+
+- cone-of-influence pruning (drop everything outside the property cone),
+- register elimination (a register becomes a free primary input),
+- gate elimination (a gate becomes a constant or an alias of one fanin).
+
+Each accepted reduction restarts the scan, so the result is 1-minimal
+with respect to these operators.  :func:`shrink_trace` is the analogous
+reducer for error traces: truncate at the first bad cycle, then drop
+input assignments that 3-valued replay does not need.
+
+Minimal reproducers are serialized through :mod:`repro.netlist.textio`
+into a persistent corpus (``tests/corpus/`` in this repo).  The property
+rides along as a ``# !property`` comment line, so every corpus file is
+*also* a plain netlist readable by every other tool in the repo.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.certify import certify_error_trace
+from repro.core.property import UnreachabilityProperty
+from repro.fuzz.gen import FuzzInstance
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.ops import coi_registers, extract_subcircuit
+from repro.netlist.textio import circuit_from_text, circuit_to_text
+from repro.trace import Trace
+
+Predicate = Callable[[FuzzInstance], bool]
+
+PROPERTY_DIRECTIVE = "# !property"
+
+
+# ----------------------------------------------------------------------
+# Corpus serialization
+# ----------------------------------------------------------------------
+
+
+def instance_to_text(instance: FuzzInstance) -> str:
+    """Netlist text with the property as a leading directive comment."""
+    cube = ",".join(
+        f"{name}={value}" for name, value in sorted(instance.prop.target.items())
+    )
+    header = f"{PROPERTY_DIRECTIVE} {instance.prop.name} {cube}\n"
+    return header + circuit_to_text(instance.circuit)
+
+
+def instance_from_text(text: str) -> FuzzInstance:
+    """Parse a corpus file back into a (circuit, property) instance."""
+    prop: Optional[UnreachabilityProperty] = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line.startswith(PROPERTY_DIRECTIVE):
+            continue
+        rest = line[len(PROPERTY_DIRECTIVE):].split()
+        if len(rest) != 2:
+            raise NetlistError(f"malformed property directive: {line!r}")
+        name, cube_text = rest
+        target: Dict[str, int] = {}
+        for item in cube_text.split(","):
+            sig, _, value = item.partition("=")
+            if value not in ("0", "1"):
+                raise NetlistError(f"bad property literal {item!r}")
+            target[sig] = int(value)
+        prop = UnreachabilityProperty(name, target)
+        break
+    if prop is None:
+        raise NetlistError("corpus file has no '# !property' directive")
+    circuit = circuit_from_text(text)
+    prop.validate_against(circuit)
+    return FuzzInstance(circuit=circuit, prop=prop)
+
+
+def save_reproducer(
+    instance: FuzzInstance, directory: str, stem: Optional[str] = None
+) -> str:
+    """Write one instance into the corpus directory; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    stem = stem or instance.name
+    path = os.path.join(directory, f"{stem}.net")
+    with open(path, "w") as handle:
+        handle.write(instance_to_text(instance))
+    return path
+
+
+def load_instance(path: str) -> FuzzInstance:
+    with open(path) as handle:
+        return instance_from_text(handle.read())
+
+
+def load_corpus(directory: str) -> List[Tuple[str, FuzzInstance]]:
+    """All corpus reproducers, sorted by filename for determinism."""
+    if not os.path.isdir(directory):
+        return []
+    loaded = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".net"):
+            path = os.path.join(directory, name)
+            loaded.append((path, load_instance(path)))
+    return loaded
+
+
+# ----------------------------------------------------------------------
+# Structural reductions
+# ----------------------------------------------------------------------
+
+
+def _rebuilt(
+    instance: FuzzInstance,
+    drop_registers: Iterable[str] = (),
+    gate_overrides: Optional[Dict[str, Tuple[str, object]]] = None,
+) -> Optional[FuzzInstance]:
+    """Rebuild the circuit with some registers freed into primary inputs
+    and some gates replaced by constants or fanin aliases.  Returns None
+    when the reduction is structurally invalid."""
+    dropped = set(drop_registers)
+    if any(reg in instance.prop.target for reg in dropped):
+        return None
+    circuit = instance.circuit
+    overrides = gate_overrides or {}
+    new = Circuit(circuit.name)
+    try:
+        for name in circuit.inputs:
+            new.add_input(name)
+        for name in sorted(dropped):
+            new.add_input(name)
+        for name, reg in circuit.registers.items():
+            if name not in dropped:
+                new.add_register(reg.data, init=reg.init, output=name)
+        for gate in circuit.topo_gates():
+            replacement = overrides.get(gate.output)
+            if replacement is None:
+                new.add_gate(gate.op, gate.inputs, gate.output)
+            elif replacement[0] == "const":
+                new.g_const(int(replacement[1]), output=gate.output)
+            else:  # ("alias", fanin)
+                new.g_buf(str(replacement[1]), output=gate.output)
+        for name in circuit.outputs:
+            if new.is_defined(name):
+                new.mark_output(name)
+        new.validate()
+    except NetlistError:
+        return None
+    return FuzzInstance(
+        circuit=new,
+        prop=instance.prop,
+        seed=instance.seed,
+        config=instance.config,
+    )
+
+
+def _coi_pruned(instance: FuzzInstance) -> Optional[FuzzInstance]:
+    """Keep only the property's cone of influence."""
+    circuit = instance.circuit
+    roots = instance.prop.signals()
+    coi = coi_registers(circuit, roots)
+    try:
+        reduced = extract_subcircuit(circuit, coi, roots, name=circuit.name)
+    except NetlistError:
+        return None
+    if (
+        reduced.num_gates == circuit.num_gates
+        and reduced.num_registers == circuit.num_registers
+        and reduced.num_inputs == circuit.num_inputs
+    ):
+        return None  # nothing pruned
+    return FuzzInstance(
+        circuit=reduced,
+        prop=instance.prop,
+        seed=instance.seed,
+        config=instance.config,
+    )
+
+
+def _size(instance: FuzzInstance) -> Tuple[int, int, int]:
+    c = instance.circuit
+    return (c.num_registers, c.num_gates, c.num_inputs)
+
+
+def shrink_instance(
+    instance: FuzzInstance,
+    predicate: Predicate,
+    max_rounds: int = 12,
+    max_checks: int = 2000,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzInstance:
+    """Greedy 1-minimal reduction of ``instance`` under ``predicate``.
+
+    ``predicate(candidate)`` must return True while the finding still
+    reproduces; the original instance is assumed failing.  The result is
+    the smallest circuit reached before the scan fixpoints or the check
+    budget runs out.
+    """
+    checks = 0
+
+    def still_fails(candidate: Optional[FuzzInstance]) -> bool:
+        nonlocal checks
+        if candidate is None or checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    def note(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    current = instance
+    pruned = _coi_pruned(current)
+    if still_fails(pruned):
+        current = pruned
+        note(f"coi prune -> {_size(current)}")
+
+    for round_index in range(max_rounds):
+        improved = False
+
+        # Registers: free each non-target register into a primary input.
+        for reg in list(current.circuit.registers):
+            candidate = _rebuilt(current, drop_registers=(reg,))
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                note(f"dropped register {reg} -> {_size(current)}")
+        # Gates, outputs first so whole cones die in one COI prune.
+        for gate in reversed(current.circuit.topo_gates()):
+            if gate.output not in current.circuit.gates:
+                continue  # removed by an earlier prune this round
+            already_const = gate.op.name in ("CONST0", "CONST1")
+            replacements: List[Tuple[str, object]] = (
+                [] if already_const else [("const", 0), ("const", 1)]
+            )
+            if gate.op.name != "BUF":
+                replacements.extend(
+                    ("alias", fanin)
+                    for fanin in dict.fromkeys(gate.inputs)
+                    if fanin != gate.output
+                )
+            for replacement in replacements:
+                candidate = _rebuilt(
+                    current, gate_overrides={gate.output: replacement}
+                )
+                if still_fails(candidate):
+                    current = candidate
+                    improved = True
+                    note(
+                        f"replaced gate {gate.output} with {replacement} "
+                        f"-> {_size(current)}"
+                    )
+                    break
+            pruned = _coi_pruned(current)
+            if pruned is not None and still_fails(pruned):
+                current = pruned
+        if not improved or checks >= max_checks:
+            break
+        note(f"round {round_index + 1} done: {_size(current)}")
+
+    pruned = _coi_pruned(current)
+    if still_fails(pruned):
+        current = pruned
+    note(f"final: {_size(current)} after {checks} predicate checks")
+    return current
+
+
+# ----------------------------------------------------------------------
+# Trace shrinking
+# ----------------------------------------------------------------------
+
+
+def shrink_trace(
+    circuit: Circuit, prop: UnreachabilityProperty, trace: Trace
+) -> Trace:
+    """Minimize a certified error trace: truncate at the first cycle the
+    bad state is visited, then greedily drop input assignments that the
+    3-valued replay does not need.  Returns the input unchanged if it
+    does not certify in the first place."""
+    if not certify_error_trace(circuit, prop, trace).ok:
+        return trace
+
+    def certifies(candidate: Trace) -> bool:
+        return certify_error_trace(circuit, prop, candidate).ok
+
+    # Truncate: binary-search-free linear scan is fine at fuzz sizes.
+    for length in range(1, trace.length + 1):
+        truncated = Trace(
+            states=[dict(s) for s in trace.states[:length]],
+            inputs=[dict(i) for i in trace.inputs[:length]],
+            circuit_name=trace.circuit_name,
+        )
+        if certifies(truncated):
+            trace = truncated
+            break
+
+    # Drop individual input assignments (X replay must still reach the
+    # bad state); later cycles first, they are most often irrelevant.
+    for cycle in range(trace.length - 1, -1, -1):
+        for name in sorted(trace.inputs[cycle]):
+            kept = trace.inputs[cycle].pop(name)
+            if not certifies(trace):
+                trace.inputs[cycle][name] = kept
+    return trace

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core import RFN, RfnConfig, RfnStatus, watchdog_property
+from repro.core import RFN, RfnStatus, watchdog_property
 from repro.core.certify import (
-    Certificate,
     CertificateStatus,
     certify_error_trace,
     certify_invariant,
@@ -14,17 +13,7 @@ from repro.mc import ImageComputer, SymbolicEncoding, forward_reach
 from repro.netlist import Circuit
 from repro.netlist.words import WordReg, w_eq_const, w_inc
 
-
-def saturating_counter(width=3, ceiling=5):
-    c = Circuit("sat")
-    cnt = WordReg(c, "cnt", width, init=0)
-    nxt, _ = w_inc(c, cnt.q)
-    stop = w_eq_const(c, cnt.q, ceiling)
-    cnt.drive([c.g_mux(stop, n, q) for n, q in zip(nxt, cnt.q)])
-    bad = w_eq_const(c, cnt.q, ceiling + 2)
-    prop = watchdog_property(c, bad, "overflow")
-    c.validate()
-    return c, prop
+from tests.conftest import saturating_counter
 
 
 def exact_invariant(circuit):
@@ -140,3 +129,69 @@ class TestTraceCertification:
         cert = certify_error_trace(circuit, prop, bogus)
         assert cert.status is CertificateStatus.FAILED
         assert "FAILS" in cert.obligations["initial-state"]
+
+
+class TestReplaySimulatorPinning:
+    """The kernel and interpreted replay paths must issue identical
+    certificates -- on good traces, bogus traces, and traces with
+    partially-specified inputs (3-valued replay)."""
+
+    def _falsified_trace(self):
+        c = Circuit("cnt")
+        cnt = WordReg(c, "cnt", 3, init=0)
+        nxt, _ = w_inc(c, cnt.q)
+        cnt.drive(nxt)
+        prop = watchdog_property(c, w_eq_const(c, cnt.q, 5), "hit5")
+        c.validate()
+        result = RFN(c, prop).run()
+        assert result.status is RfnStatus.FALSIFIED
+        return c, prop, result.trace
+
+    def test_good_trace_certifies_on_both(self):
+        c, prop, trace = self._falsified_trace()
+        kernel = certify_error_trace(c, prop, trace, simulator="kernel")
+        interp = certify_error_trace(c, prop, trace, simulator="interpreted")
+        assert kernel.ok and interp.ok
+        assert kernel.obligations == interp.obligations
+
+    def test_bogus_trace_fails_on_both(self):
+        circuit, prop = saturating_counter()
+        bogus = Trace(
+            states=[{name: 0 for name in circuit.registers}],
+            inputs=[{}],
+        )
+        kernel = certify_error_trace(circuit, prop, bogus, simulator="kernel")
+        interp = certify_error_trace(
+            circuit, prop, bogus, simulator="interpreted"
+        )
+        assert kernel.status is CertificateStatus.FAILED
+        assert interp.status is CertificateStatus.FAILED
+        assert kernel.obligations == interp.obligations
+
+    def test_partial_inputs_agree(self):
+        """Unassigned primary inputs replay as X on both paths; the
+        watchdog still latches because the bad condition is forced."""
+        c = Circuit("part")
+        free = c.add_input("free")
+        r = c.add_register("rd", init=0, output="r")
+        c.g_or(r, c.g_const(1), output="rd")
+        c.g_and(r, c.g_or(free, c.g_not(free)), output="dummy")
+        prop = watchdog_property(c, r, "r_high")
+        c.validate()
+        wd = prop.signals()[0]
+        trace = Trace(
+            states=[{"r": 0, wd: 0}, {"r": 1, wd: 0}, {"r": 1, wd: 1}],
+            inputs=[{}, {}, {"free": 0}],
+        )
+        kernel = certify_error_trace(c, prop, trace, simulator="kernel")
+        interp = certify_error_trace(c, prop, trace, simulator="interpreted")
+        assert kernel.ok and interp.ok
+        assert kernel.obligations == interp.obligations
+
+    def test_unknown_simulator_rejected(self):
+        circuit, prop = saturating_counter()
+        trace = Trace(
+            states=[{name: 0 for name in circuit.registers}], inputs=[{}]
+        )
+        with pytest.raises(ValueError):
+            certify_error_trace(circuit, prop, trace, simulator="verilog")

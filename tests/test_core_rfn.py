@@ -2,57 +2,11 @@
 
 import pytest
 
-from repro.core import RFN, RfnConfig, RfnStatus, watchdog_property
+from repro.core import RFN, RfnConfig, RfnStatus
 from repro.mc.reach import ReachLimits
-from repro.netlist import Circuit
-from repro.netlist.words import WordReg, w_eq_const, w_inc, word_input
 from repro.sim import Simulator
 
-
-def toggle_design():
-    """True property needing one conflict-driven refinement."""
-    c = Circuit("tog")
-    x = c.add_register("xd", init=0, output="x")
-    c.g_not(x, output="xd")
-    xprev = c.add_register(x, init=0, output="xprev")
-    bad = c.g_and(x, xprev, output="bad")
-    prop = watchdog_property(c, bad, "two_high")
-    c.validate()
-    return c, prop
-
-
-def chain_design(depth=5):
-    """True property: a constant-0 pipeline can never raise its tap."""
-    c = Circuit("chain")
-    zero = c.g_const(0, output="zero")
-    prev = c.add_register(zero, output="r1")
-    for i in range(2, depth + 1):
-        prev = c.add_register(prev, output=f"r{i}")
-    prop = watchdog_property(c, prev, "tap_high")
-    c.validate()
-    return c, prop
-
-
-def buggy_counter(width=4, bad_value=9):
-    """False property: the counter does reach the bad value."""
-    c = Circuit("cnt")
-    cnt = WordReg(c, "cnt", width, init=0)
-    nxt, _ = w_inc(c, cnt.q)
-    cnt.drive(nxt)
-    bad = w_eq_const(c, cnt.q, bad_value)
-    prop = watchdog_property(c, bad, "cnt_bad")
-    c.validate()
-    return c, prop
-
-
-def padded(design_fn, pads=30):
-    """Wrap a design with an island of irrelevant registers, bloating the
-    raw register count the way the paper's real-world designs do."""
-    c, prop = design_fn()
-    for i in range(pads):
-        c.add_register(c.add_input(f"pad_in{i}"), output=f"pad{i}")
-    c.validate()
-    return c, prop
+from tests.conftest import buggy_counter, chain_design, padded, toggle_design
 
 
 class TestVerified:

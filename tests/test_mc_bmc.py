@@ -2,65 +2,19 @@
 
 import pytest
 
-from repro.core.property import UnreachabilityProperty, watchdog_property
 from repro.mc.bmc import BmcOutcome, bmc
-from repro.netlist import Circuit
-from repro.netlist.words import (
-    WordReg,
-    w_eq_const,
-    w_inc,
-    w_mux,
-    word_const,
-)
 from repro.sim import Simulator
 
-
-def free_counter_with_bad(width=3, bad_value=5):
-    c = Circuit("cnt")
-    cnt = WordReg(c, "cnt", width, init=0)
-    nxt, _ = w_inc(c, cnt.q)
-    cnt.drive(nxt)
-    prop = watchdog_property(c, w_eq_const(c, cnt.q, bad_value), "hit")
-    c.validate()
-    return c, prop
+from tests.conftest import (
+    free_counter_with_bad,
+    saturating_counter,
+    unreachable_lasso,
+)
 
 
-def saturating_counter(width=3, ceiling=4):
-    c = Circuit("sat")
-    cnt = WordReg(c, "cnt", width, init=0)
-    nxt, _ = w_inc(c, cnt.q)
-    stop = w_eq_const(c, cnt.q, ceiling)
-    cnt.drive([c.g_mux(stop, n, q) for n, q in zip(nxt, cnt.q)])
-    prop = watchdog_property(
-        c, w_eq_const(c, cnt.q, ceiling + 2), "overflow"
-    )
-    c.validate()
-    return c, prop
-
-
-def unreachable_lasso():
-    """Reachable cycle 0->1->2->0; unreachable lasso {4,5} that can jump
-    to the bad state 6.  Plain k-induction can never prove q != 6; the
-    simple-path (unique states) variant closes it."""
-    c = Circuit("lasso")
-    jump = c.add_input("jump")
-    q = WordReg(c, "q", 3, init=0)
-
-    def const3(v):
-        return word_const(c, v, 3)
-
-    nxt = const3(1)
-    for current, target in ((1, 2), (2, 0), (3, 0), (6, 6), (7, 7)):
-        nxt = w_mux(c, w_eq_const(c, q.q, current), nxt, const3(target))
-    nxt = w_mux(c, w_eq_const(c, q.q, 4), nxt, const3(5))
-    five_next = w_mux(c, jump, const3(4), const3(6))
-    nxt = w_mux(c, w_eq_const(c, q.q, 5), nxt, five_next)
-    q.drive(nxt)
-    prop = UnreachabilityProperty("no_six", {
-        "q[0]": 0, "q[1]": 1, "q[2]": 1,
-    })
-    c.validate()
-    return c, prop
+def bmc_saturating_counter():
+    # BMC tests use a lower ceiling so induction closes within depth 8.
+    return saturating_counter(ceiling=4)
 
 
 class TestFalsification:
@@ -88,7 +42,7 @@ class TestFalsification:
 
 class TestInduction:
     def test_saturating_counter_proved(self):
-        c, prop = saturating_counter()
+        c, prop = bmc_saturating_counter()
         result = bmc(c, prop, max_depth=16)
         assert result.outcome is BmcOutcome.TRUE
         assert result.induction_depth is not None
@@ -107,14 +61,14 @@ class TestInduction:
         assert result.outcome is BmcOutcome.TRUE
 
     def test_induction_disabled_never_proves(self):
-        c, prop = saturating_counter()
+        c, prop = bmc_saturating_counter()
         result = bmc(c, prop, max_depth=8, induction=False)
         assert result.outcome is BmcOutcome.UNKNOWN
 
 
 class TestOptions:
     def test_coi_reduction_optional(self):
-        c, prop = saturating_counter()
+        c, prop = bmc_saturating_counter()
         with_coi = bmc(c, prop, max_depth=12, use_coi=True)
         without = bmc(c, prop, max_depth=12, use_coi=False)
         assert with_coi.outcome == without.outcome == BmcOutcome.TRUE
