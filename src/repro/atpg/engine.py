@@ -10,6 +10,7 @@ so an encoder bug can never masquerade as a verification result.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -34,11 +35,39 @@ class AtpgBudget:
 
     The propagation cap is the solver's best wall-clock proxy: it bounds
     searches that wander without conflicting (huge satisfiable-looking
-    unrollings), which a pure conflict budget never would."""
+    unrollings), which a pure conflict budget never would.
+
+    ``max_seconds``/``deadline`` put a true wall-clock bound on every
+    solver call (``deadline`` is an absolute ``time.monotonic()``
+    instant; ``max_seconds`` is relative to the call).  Exceeding either
+    keeps the historical return-code semantics (``ABORTED``).
+    ``runtime`` optionally attaches a :class:`repro.runtime.Budget`,
+    which charges conflicts/decisions to the shared run budget and
+    *raises* a structured ``EngineAbort`` -- the portfolio supervisor's
+    exception-based path."""
 
     max_conflicts: Optional[int] = 200_000
     max_decisions: Optional[int] = None
     max_propagations: Optional[int] = 50_000_000
+    max_seconds: Optional[float] = None
+    deadline: Optional[float] = None
+    runtime: Optional[object] = None
+
+    def solve_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for :meth:`repro.sat.solver.Solver.solve`."""
+        deadline = self.deadline
+        if self.max_seconds is not None:
+            relative = time.monotonic() + self.max_seconds
+            deadline = (
+                relative if deadline is None else min(deadline, relative)
+            )
+        return {
+            "max_conflicts": self.max_conflicts,
+            "max_decisions": self.max_decisions,
+            "max_propagations": self.max_propagations,
+            "deadline": deadline,
+            "budget": self.runtime,
+        }
 
 
 @dataclass
@@ -113,11 +142,7 @@ def sequential_atpg(
             unroller.cnf.add_unit(unroller.lit(name, cycle, value))
     solver = Solver(unroller.cnf)
     budget = budget or AtpgBudget()
-    result = solver.solve(
-        max_conflicts=budget.max_conflicts,
-        max_decisions=budget.max_decisions,
-        max_propagations=budget.max_propagations,
-    )
+    result = solver.solve(**budget.solve_kwargs())
     if result.status is SatStatus.UNSAT:
         return AtpgResult(
             AtpgOutcome.UNSATISFIABLE,
@@ -168,11 +193,7 @@ def combinational_atpg(
             unroller.cnf.add_unit(unroller.lit(name, 0, value))
     solver = Solver(unroller.cnf)
     budget = budget or AtpgBudget()
-    result = solver.solve(
-        max_conflicts=budget.max_conflicts,
-        max_decisions=budget.max_decisions,
-        max_propagations=budget.max_propagations,
-    )
+    result = solver.solve(**budget.solve_kwargs())
     if result.status is SatStatus.UNSAT:
         return AtpgResult(
             AtpgOutcome.UNSATISFIABLE,

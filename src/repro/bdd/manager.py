@@ -22,11 +22,21 @@ from __future__ import annotations
 
 import sys
 import weakref
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.bdd.cubes import CubeMixin
 from repro.bdd.function import Function
 from repro.bdd.reorder import ReorderMixin
+from repro.runtime.abort import NodesOut
 
 # Deep but bounded: operation recursion depth tracks the number of levels.
 sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
@@ -39,12 +49,14 @@ class BDDError(Exception):
     """Raised for invalid BDD manager usage."""
 
 
-class BDDNodeLimit(BDDError):
+class BDDNodeLimit(BDDError, NodesOut):
     """Raised by node allocation when ``node_limit`` is exceeded.
 
     Long-running clients (the reachability engine) catch this to turn a
     blowup inside a single image computation into a clean RESOURCE_OUT
-    instead of an unbounded stall.
+    instead of an unbounded stall.  It is also a
+    :class:`repro.runtime.abort.NodesOut`, so the portfolio supervisor
+    contains it under the unified abort taxonomy.
     """
 
 
@@ -60,6 +72,9 @@ class BDD(CubeMixin, ReorderMixin):
 
     FALSE = 0
     TRUE = 1
+    #: allocations between ``checkpoint_hook`` polls -- large enough to
+    #: keep ``_mk`` cheap, small enough for sub-second abort latency.
+    CHECKPOINT_EVERY = 8192
 
     def __init__(self, var_names: Iterable[str] = ()) -> None:
         self._level: List[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
@@ -83,6 +98,11 @@ class BDD(CubeMixin, ReorderMixin):
         self._false = Function(self, self.FALSE)
         self.auto_reorder = False
         self.node_limit: Optional[int] = None  # raise BDDNodeLimit beyond
+        # Cooperative cancellation: when set, called every
+        # CHECKPOINT_EVERY node allocations so a runtime Budget can
+        # abort an enormous image computation mid-flight.
+        self.checkpoint_hook: Optional[Callable[[], None]] = None
+        self._alloc_since_check = 0
         self._last_reorder_size = 1024
         for name in var_names:
             self.declare(name)
@@ -169,6 +189,11 @@ class BDD(CubeMixin, ReorderMixin):
                 raise BDDNodeLimit(
                     f"BDD node limit of {self.node_limit} exceeded"
                 )
+            if self.checkpoint_hook is not None:
+                self._alloc_since_check += 1
+                if self._alloc_since_check >= self.CHECKPOINT_EVERY:
+                    self._alloc_since_check = 0
+                    self.checkpoint_hook()
             self._level.append(level)
             self._low.append(low)
             self._high.append(high)

@@ -20,11 +20,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, List, Optional
 
 from repro.aig import aig_to_circuit, circuit_to_aig, parse_aiger, to_aiger
 from repro.aig.convert import strash_circuit
-from repro.core import RFN, RfnConfig, RfnStatus, UnreachabilityProperty
+from repro.core import RfnConfig, RfnStatus, UnreachabilityProperty, rfn_verify
 from repro.core.coverage import (
     CoverageAnalyzer,
     CoverageConfig,
@@ -35,9 +36,15 @@ from repro.mc.bmc import BmcOutcome, bmc
 from repro.mc.reach import ReachLimits
 from repro.netlist import circuit_from_text, circuit_to_text, parse_verilog
 from repro.netlist.ops import coi_stats
+from repro.runtime import Budget, ChaosMonkey, RfnCheckpoint
 from repro.sim import RandomSimulator
 from repro.trace import Trace
 from repro.vcd import trace_to_vcd
+
+#: live state of an in-flight ``verify`` run, so the KeyboardInterrupt
+#: handler in :func:`main` can emit a partial report (iterations done,
+#: budget spent, last checkpoint) before exiting with code 130
+_PARTIAL: Dict[str, object] = {}
 
 
 def _load(path: str):
@@ -130,10 +137,32 @@ def _print_perf_profile(circuit, lanes: int, cycles: int) -> None:
 
 def cmd_verify(args) -> int:
     circuit = _load(args.netlist)
+    if args.engine != "rfn":
+        for flag, value in (
+            ("--resume", args.resume),
+            ("--checkpoint", args.checkpoint),
+            ("--chaos", args.chaos),
+        ):
+            if value:
+                raise ValueError(
+                    f"{flag} only applies to the rfn engine"
+                )
+    resume_ckpt = None
+    if args.resume:
+        resume_ckpt = RfnCheckpoint.load(args.resume)
     if args.watchdog:
         target = {args.watchdog: 1}
-    else:
+    elif args.target:
         target = _parse_target(args.target)
+    elif resume_ckpt is not None:
+        target = dict(resume_ckpt.target)
+        if resume_ckpt.property_name:
+            args.name = resume_ckpt.property_name
+    else:
+        raise ValueError(
+            "one of --watchdog/--target is required "
+            "(unless resuming from a checkpoint)"
+        )
     prop = UnreachabilityProperty(args.name, target)
     log = print if args.verbose else None
 
@@ -142,6 +171,7 @@ def cmd_verify(args) -> int:
             circuit,
             prop,
             max_depth=args.max_depth,
+            max_seconds=args.timeout,
             unique_states=args.unique_states,
         )
         extra = (
@@ -156,11 +186,18 @@ def cmd_verify(args) -> int:
             result.outcome.value
         ]
     elif args.engine == "smc":
+        max_seconds = args.max_seconds
+        if args.timeout is not None:
+            max_seconds = (
+                args.timeout
+                if max_seconds is None
+                else min(max_seconds, args.timeout)
+            )
         result = model_check_coi(
             circuit,
             prop,
             limits=ReachLimits(
-                max_seconds=args.max_seconds, max_nodes=args.max_nodes
+                max_seconds=max_seconds, max_nodes=args.max_nodes
             ),
         )
         print(f"plain SMC+COI: {result.outcome.value} "
@@ -171,13 +208,53 @@ def cmd_verify(args) -> int:
             result.outcome.value
         ]
     else:
-        config = RfnConfig(max_seconds=args.max_seconds, log=log)
-        rfn_result = RFN(circuit, prop, config).run()
+        budget = (
+            Budget(max_seconds=args.timeout)
+            if args.timeout is not None
+            else None
+        )
+        chaos = ChaosMonkey.parse(args.chaos) if args.chaos else None
+        checkpoint_path = args.checkpoint or args.resume
+        config = RfnConfig(
+            max_seconds=args.max_seconds,
+            max_iterations=args.max_iterations,
+            log=log,
+            budget=budget,
+            chaos=chaos,
+            checkpoint_path=checkpoint_path,
+        )
+        _PARTIAL.update(
+            budget=budget,
+            checkpoint_path=checkpoint_path,
+            start=time.monotonic(),
+        )
+        rfn_result = rfn_verify(
+            circuit,
+            prop,
+            config,
+            resume=resume_ckpt,
+            observer=lambda rfn: _PARTIAL.__setitem__("rfn", rfn),
+        )
         print(f"RFN: {rfn_result.status.value} in "
               f"{rfn_result.seconds:.2f}s, "
               f"{len(rfn_result.iterations)} iterations, abstract model "
               f"{rfn_result.abstract_model_registers}/"
               f"{circuit.num_registers} registers")
+        if rfn_result.resumed_iterations:
+            print(f"resumed from {args.resume}: "
+                  f"{rfn_result.resumed_iterations} prior iteration(s)")
+        fallbacks = sorted({
+            name
+            for record in rfn_result.iterations
+            for name in record.fallbacks.split(",")
+            if name
+        })
+        if fallbacks:
+            print(f"fallback engines used: {', '.join(fallbacks)}")
+        if rfn_result.failure is not None:
+            print(f"resource out: {rfn_result.failure.describe()}")
+        if rfn_result.checkpoint_path:
+            print(f"checkpoint written to {rfn_result.checkpoint_path}")
         trace = rfn_result.trace
         status_code = {
             RfnStatus.VERIFIED: 0,
@@ -271,6 +348,7 @@ def cmd_fuzz(args) -> int:
         seed=args.seed,
         iters=args.iters,
         budget_seconds=args.budget,
+        instance_seconds=args.instance_budget,
         gen_config=gen_config,
         oracle_config=OracleConfig(),
         corpus_dir=args.corpus,
@@ -294,6 +372,9 @@ def cmd_fuzz(args) -> int:
     )
     if result.budget_exhausted:
         print(f"budget of {args.budget:.0f}s exhausted early")
+    if result.resource_out_count:
+        print(f"{result.resource_out_count} instance(s) hit the "
+              f"per-instance budget (recorded, not findings)")
     if result.ok:
         print("no engine disagreements, no failed certificates")
         return 0
@@ -330,7 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_verify = sub.add_parser("verify", help="verify an unreachability property")
     p_verify.add_argument("netlist")
-    group = p_verify.add_mutually_exclusive_group(required=True)
+    group = p_verify.add_mutually_exclusive_group()
     group.add_argument("--watchdog", help="watchdog register (target: =1)")
     group.add_argument("--target", help="target cube, e.g. 'bad=1,mode=0'")
     p_verify.add_argument("--name", default="property")
@@ -339,6 +420,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("--max-seconds", type=float, default=None)
     p_verify.add_argument("--max-nodes", type=int, default=2_000_000)
+    p_verify.add_argument(
+        "--timeout", type=float, default=None,
+        help="run budget in seconds, enforced cooperatively inside "
+        "every engine's hot loop (rfn: structured RESOURCE_OUT)",
+    )
+    p_verify.add_argument("--max-iterations", type=int, default=64,
+                          help="rfn: CEGAR iteration cap")
+    p_verify.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="rfn: write the CEGAR state here after each iteration",
+    )
+    p_verify.add_argument(
+        "--resume", metavar="PATH",
+        help="rfn: resume from a checkpoint written by --checkpoint "
+        "(the target cube defaults to the checkpoint's)",
+    )
+    p_verify.add_argument(
+        "--chaos", metavar="SPEC",
+        help="rfn: deterministic fault injection, e.g. "
+        "'reach=timeout@0,hybrid=garbage' (testing aid)",
+    )
     p_verify.add_argument("--max-depth", type=int, default=32,
                           help="BMC unrolling bound")
     p_verify.add_argument("--unique-states", action="store_true",
@@ -386,6 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of generated instances")
     p_fuzz.add_argument("--budget", type=float, default=None,
                         help="wall-clock budget in seconds")
+    p_fuzz.add_argument("--instance-budget", type=float, default=None,
+                        help="per-instance wall-clock budget in seconds; "
+                        "engines that exceed it are recorded as "
+                        "resource-out, not findings")
     p_fuzz.add_argument("--corpus",
                         help="directory for shrunk reproducers "
                         "(e.g. tests/corpus)")
@@ -400,11 +506,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _partial_report() -> Dict[str, object]:
+    """Snapshot of an interrupted ``verify`` run: iterations completed,
+    budget spent and the last checkpoint (written now if possible)."""
+    report: Dict[str, object] = {
+        "status": "interrupted",
+        "iterations": 0,
+        "budget_spent": None,
+        "checkpoint": _PARTIAL.get("checkpoint_path"),
+    }
+    rfn = _PARTIAL.get("rfn")
+    if rfn is not None:
+        report["iterations"] = len(rfn.iterations)
+        start = _PARTIAL.get("start")
+        elapsed = (
+            time.monotonic() - start if start is not None else 0.0
+        )
+        try:
+            path = rfn.save_checkpoint("in_progress", elapsed)
+        except OSError:
+            path = None
+        if path is not None:
+            report["checkpoint"] = path
+    budget = _PARTIAL.get("budget")
+    if budget is not None:
+        report["budget_spent"] = budget.spent()
+    return report
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _PARTIAL.clear()
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print(json.dumps(_partial_report(), indent=2, sort_keys=True))
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3

@@ -15,7 +15,13 @@ Modules
 
 from repro.core.abstraction import Abstraction
 from repro.core.property import UnreachabilityProperty, watchdog_property
-from repro.core.rfn import RFN, RfnConfig, RfnResult, RfnStatus
+from repro.core.rfn import (
+    RFN,
+    RfnConfig,
+    RfnResult,
+    RfnStatus,
+    rfn_verify,
+)
 from repro.trace import Trace
 
 __all__ = [
@@ -26,5 +32,6 @@ __all__ = [
     "RfnStatus",
     "Trace",
     "UnreachabilityProperty",
+    "rfn_verify",
     "watchdog_property",
 ]

@@ -115,6 +115,8 @@ def guided_concrete_search(
     total_conflicts = 0
     result = None
     for trace in traces:
+        if budget.runtime is not None:
+            budget.runtime.checkpoint(engine="guided")
         # Cheap path first: direct replay of concrete traces.
         concrete = replay_trace(original, prop, trace)
         if concrete is not None:

@@ -33,6 +33,7 @@ from repro.mc.images import ImageComputer
 from repro.mc.reach import ReachResult
 from repro.mincut import MinCutResult, min_cut_design
 from repro.netlist.circuit import Circuit
+from repro.runtime.budget import Budget
 
 
 class HybridEngineError(Exception):
@@ -59,6 +60,8 @@ class HybridTraceEngine:
     images: ImageComputer
     atpg_budget: AtpgBudget = field(default_factory=AtpgBudget)
     max_cube_tries: int = 256
+    #: optional runtime budget polled per pre-image step and cube try
+    budget: Optional[Budget] = None
 
     def __post_init__(self) -> None:
         self.mincut: MinCutResult = min_cut_design(self.model)
@@ -113,6 +116,8 @@ class HybridTraceEngine:
         """One pre-image step on the min-cut design; returns the previous
         cycle's (state cube, input cube)."""
         bdd = self.encoding.bdd
+        if self.budget is not None:
+            self.budget.checkpoint(engine="hybrid")
         self.stats.preimages += 1
         t_fn = bdd.cube(target_cube)
         r = self.mc_images.pre_image_keep_inputs(t_fn) & ring
@@ -128,6 +133,8 @@ class HybridTraceEngine:
         for cube in itertools.islice(
             bdd.iter_cubes(r), self.max_cube_tries
         ):
+            if self.budget is not None:
+                self.budget.checkpoint(engine="hybrid")
             if self.mincut.is_no_cut_cube(cube):
                 self.stats.direct_no_cut += 1
                 return self._split_no_cut(cube)

@@ -51,13 +51,19 @@ def crucial_register_candidates(
     abstraction: Abstraction,
     trace: Trace,
     fallback_count: int = 8,
+    runtime=None,
 ) -> RefinementResult:
     """Phase 1: 3-valued simulation of the abstract error trace on the
     original design; conflicting registers outside the abstract model are
-    the candidates, ordered by conflict count (then first conflict)."""
+    the candidates, ordered by conflict count (then first conflict).
+
+    ``runtime`` is an optional :class:`repro.runtime.Budget` whose
+    checkpoint is threaded into the kernel replay."""
     original = abstraction.original
     model = abstraction.model
     sim = BitParallelSimulator(original)
+    if runtime is not None:
+        sim.checkpoint = runtime.hook("refine")
 
     conflict_count: Dict[str, int] = {}
     first_conflict: Dict[str, int] = {}
@@ -156,7 +162,10 @@ def minimize_candidates(
     stats = RefinementStats(candidates=len(candidates), minimized=True)
     added: List[str] = []
     unsatisfiable = False
+    runtime = budget.runtime if budget is not None else None
     for register in candidates:
+        if runtime is not None:
+            runtime.checkpoint(engine="refine")
         added.append(register)
         model = abstraction.with_registers(added)
         stats.atpg_calls += 1
@@ -174,6 +183,8 @@ def minimize_candidates(
     # Removal pass over all but the last-added register.
     kept = list(added)
     for register in added[:-1]:
+        if runtime is not None:
+            runtime.checkpoint(engine="refine")
         tentative = [r for r in kept if r != register]
         model = abstraction.with_registers(tentative)
         stats.atpg_calls += 1
@@ -193,7 +204,10 @@ def refine_from_trace(
 ) -> RefinementResult:
     """The full Step 4: phase-1 candidates, then phase-2 minimization."""
     phase1 = crucial_register_candidates(
-        abstraction, trace, fallback_count=fallback_count
+        abstraction,
+        trace,
+        fallback_count=fallback_count,
+        runtime=budget.runtime if budget is not None else None,
     )
     if not phase1.registers:
         return phase1

@@ -15,13 +15,27 @@ Step 3), or a resource limit is exceeded:
 
 The BDD variable order found by dynamic reordering in one iteration seeds
 the next iteration's manager (Section 2.2, last paragraph).
+
+Resilience (see :mod:`repro.runtime`): every step runs under the
+portfolio supervisor.  A step that exhausts its budget is retried with a
+scaled budget, then handed to a fallback engine -- reachability falls
+back to k-induction BMC on the abstract model (sound both ways: TRUE on
+the abstract model implies TRUE on the design, FALSE yields an abstract
+error trace for Steps 3-4), and the hybrid trace engine falls back to
+bounded BMC at the hit ring's depth.  Only when the fallbacks fail too
+does the run end in ``RESOURCE_OUT``, with the failing engine and
+resource named in ``RfnResult.failure``.  The loop checkpoints its
+refinement frontier after every iteration so ``--resume`` continues
+instead of restarting.
+
+Use :func:`rfn_verify` when you need the never-raises contract.
 """
 
 from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.atpg.engine import AtpgBudget
@@ -29,12 +43,18 @@ from repro.core.abstraction import Abstraction
 from repro.core.guided import GuidedSearchResult, guided_concrete_search
 from repro.core.hybrid import HybridEngineError, HybridTraceEngine
 from repro.core.property import UnreachabilityProperty
-from repro.core.refine import refine_from_trace
+from repro.core.refine import crucial_register_candidates, refine_from_trace
 from repro.trace import Trace
+from repro.mc.bmc import BmcOutcome, BmcResult, bmc
 from repro.mc.encode import SymbolicEncoding
 from repro.mc.images import ImageComputer
 from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
 from repro.netlist.circuit import Circuit
+from repro.runtime.abort import ABORT_BY_RESOURCE, DepthOut, EngineAbort
+from repro.runtime.budget import Budget
+from repro.runtime.chaos import ChaosMonkey
+from repro.runtime.checkpoint import RfnCheckpoint
+from repro.runtime.supervisor import CONTAINED, AbortInfo, Supervisor
 
 
 class RfnStatus(enum.Enum):
@@ -72,6 +92,21 @@ class RfnConfig:
     approx_block_size: Optional[int] = None
     approx_overlap: int = 2
     log: Optional[callable] = None  # def log(message: str)
+    # --- resilience (repro.runtime) -----------------------------------
+    #: run-level budget; its deadline/memory watermark is polled inside
+    #: every engine's hot loop
+    budget: Optional[Budget] = None
+    #: deterministic fault injector wrapped around every supervised step
+    chaos: Optional[ChaosMonkey] = None
+    #: write the CEGAR state here after each iteration (for --resume)
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    #: supervised-step retries; each retry scales step budgets by
+    #: ``retry_scale**attempt``
+    max_retries: int = 1
+    retry_scale: float = 2.0
+    #: k-induction depth for the abstract-model BMC fallback of Step 2
+    fallback_bmc_depth: int = 24
 
 
 @dataclass
@@ -89,6 +124,13 @@ class RfnIteration:
     guided_method: str = ""
     refinement_added: int = 0
     seconds: float = 0.0
+    #: comma-joined fallback engines that had to stand in this iteration
+    fallbacks: str = ""
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "RfnIteration":
+        names = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in payload.items() if k in names})
 
 
 @dataclass
@@ -108,6 +150,16 @@ class RfnResult:
     abstract_model: Optional[Circuit] = None
     invariant = None  # Optional[Function]
     invariant_encoding = None  # Optional[SymbolicEncoding]
+    # --- resilience ----------------------------------------------------
+    #: the abort that forced RESOURCE_OUT (names engine and resource)
+    failure: Optional[AbortInfo] = None
+    #: every abort the supervisor contained along the way
+    aborts: List[AbortInfo] = field(default_factory=list)
+    #: where the final checkpoint was written, if checkpointing was on
+    checkpoint_path: Optional[str] = None
+    #: iterations replayed from a resumed checkpoint (prefix of
+    #: ``iterations``)
+    resumed_iterations: int = 0
 
     @property
     def verified(self) -> bool:
@@ -126,12 +178,35 @@ class RFN:
         circuit: Circuit,
         prop: UnreachabilityProperty,
         config: Optional[RfnConfig] = None,
+        resume: Optional[RfnCheckpoint] = None,
     ) -> None:
         self.circuit = circuit
         self.prop = prop
         self.config = config or RfnConfig()
         self.abstraction = Abstraction.initial(circuit, prop)
         self._saved_order: Optional[List[str]] = None
+        self.supervisor = Supervisor(
+            budget=self.config.budget,
+            chaos=self.config.chaos,
+            log=self.config.log,
+            max_retries=self.config.max_retries,
+            retry_scale=self.config.retry_scale,
+        )
+        self.iterations: List[RfnIteration] = []
+        self._completed = 0  # refinement iterations already done
+        self._prior_spent: Dict[str, float] = {}
+        if resume is not None:
+            resume.validate_against(circuit, prop)
+            self.abstraction.refine(resume.kept_registers)
+            self._saved_order = list(resume.var_order) or None
+            self._completed = resume.iteration
+            self.iterations = [
+                RfnIteration.from_json(rec) for rec in resume.iterations
+            ]
+            self._prior_spent = dict(resume.budget_spent)
+            if self.config.budget is not None:
+                self.config.budget.prior = dict(resume.budget_spent)
+        self.resumed_iterations = len(self.iterations)
 
     def _log(self, message: str) -> None:
         if self.config.log is not None:
@@ -139,17 +214,63 @@ class RFN:
 
     # ------------------------------------------------------------------
 
+    def _spent(self, elapsed: float) -> Dict[str, float]:
+        budget = self.config.budget
+        if budget is not None:
+            return budget.spent()
+        spent = dict(self._prior_spent)
+        spent["seconds"] = round(
+            float(spent.get("seconds", 0.0)) + elapsed, 4
+        )
+        return spent
+
+    def save_checkpoint(
+        self, status: str, elapsed: float
+    ) -> Optional[str]:
+        """Write the CEGAR state to ``config.checkpoint_path`` (no-op
+        when checkpointing is off)."""
+        path = self.config.checkpoint_path
+        if path is None:
+            return None
+        ckpt = RfnCheckpoint(
+            circuit_name=self.circuit.name or "",
+            property_name=getattr(self.prop, "name", "") or "",
+            target=dict(self.prop.target),
+            iteration=self._completed,
+            kept_registers=sorted(self.abstraction.kept_registers),
+            var_order=list(self._saved_order or []),
+            budget_spent=self._spent(elapsed),
+            iterations=[asdict(rec) for rec in self.iterations],
+            status=status,
+        )
+        ckpt.save(path)
+        return path
+
+    # ------------------------------------------------------------------
+
     def run(self) -> RfnResult:
         config = self.config
+        supervisor = self.supervisor
+        budget = config.budget
         start = time.monotonic()
-        iterations: List[RfnIteration] = []
+        iterations = self.iterations
 
         def finish(
             status: RfnStatus,
             trace: Optional[Trace] = None,
             abstract_trace: Optional[Trace] = None,
             detail: str = "",
+            failure: Optional[AbortInfo] = None,
         ) -> RfnResult:
+            elapsed = time.monotonic() - start
+            ckpt_status = {
+                RfnStatus.VERIFIED: "verified",
+                RfnStatus.FALSIFIED: "falsified",
+                RfnStatus.RESOURCE_OUT: "resource_out",
+            }[status]
+            path = self.save_checkpoint(ckpt_status, elapsed)
+            if failure is not None and not detail:
+                detail = failure.describe()
             return RfnResult(
                 status=status,
                 prop=self.prop,
@@ -158,15 +279,27 @@ class RFN:
                 abstract_model_registers=len(self.abstraction.kept_registers),
                 trace=trace,
                 abstract_trace=abstract_trace,
-                seconds=time.monotonic() - start,
+                seconds=elapsed,
                 detail=detail,
+                failure=failure,
+                aborts=list(supervisor.aborts),
+                checkpoint_path=path,
+                resumed_iterations=self.resumed_iterations,
             )
 
-        for index in range(1, config.max_iterations + 1):
+        for index in range(self._completed + 1, config.max_iterations + 1):
             if config.max_seconds is not None and (
                 time.monotonic() - start > config.max_seconds
             ):
                 return finish(RfnStatus.RESOURCE_OUT, detail="time limit")
+            if budget is not None:
+                try:
+                    budget.checkpoint(engine="rfn")
+                except EngineAbort as abort:
+                    return finish(
+                        RfnStatus.RESOURCE_OUT,
+                        failure=AbortInfo.from_exception("rfn", abort),
+                    )
             iter_start = time.monotonic()
             model = self.abstraction.model
             record = RfnIteration(
@@ -209,84 +342,312 @@ class RFN:
                         f"{approx.passes} passes)"
                     )
                     return finish(RfnStatus.VERIFIED)
-            reach = forward_reach(
-                images,
-                encoding.initial_states(),
-                target=target,
-                limits=config.reach_limits,
-                step_hook=lambda _i, _r: encoding.bdd.maybe_sift(),
+
+            def reach_step(attempt: int):
+                limits = config.reach_limits
+                if attempt > 0:
+                    scale = config.retry_scale ** attempt
+                    limits = replace(
+                        limits,
+                        max_iterations=(
+                            None
+                            if limits.max_iterations is None
+                            else int(limits.max_iterations * scale)
+                        ),
+                        max_nodes=(
+                            None
+                            if limits.max_nodes is None
+                            else int(limits.max_nodes * scale)
+                        ),
+                        max_seconds=(
+                            None
+                            if limits.max_seconds is None
+                            else limits.max_seconds * scale
+                        ),
+                    )
+                if budget is not None and limits.budget is None:
+                    limits = replace(limits, budget=budget)
+                reach = forward_reach(
+                    images,
+                    encoding.initial_states(),
+                    target=target,
+                    limits=limits,
+                    step_hook=lambda _i, _r: encoding.bdd.maybe_sift(),
+                )
+                if reach.outcome is ReachOutcome.RESOURCE_OUT:
+                    resource = reach.abort_resource or "nodes"
+                    abort_cls = ABORT_BY_RESOURCE.get(resource, EngineAbort)
+                    raise abort_cls(
+                        f"reachability out of {resource} after "
+                        f"{reach.iterations} image steps",
+                        engine="reach",
+                        resource=resource,
+                    )
+                return reach
+
+            def reach_fallback(_attempt: int):
+                # k-induction BMC on the abstract model.  Sound both ways:
+                # TRUE on an abstract model implies TRUE on the design,
+                # FALSE yields an abstract error trace for Steps 3-4.
+                result = bmc(
+                    model,
+                    self.prop,
+                    max_depth=config.fallback_bmc_depth,
+                    max_conflicts=config.atpg_budget.max_conflicts,
+                    induction=True,
+                    unique_states=True,
+                    budget=budget,
+                )
+                if result.outcome is BmcOutcome.UNKNOWN:
+                    raise DepthOut(
+                        f"abstract-model BMC inconclusive at depth "
+                        f"{config.fallback_bmc_depth}",
+                        engine="abstract-bmc",
+                    )
+                return result
+
+            step = supervisor.attempt(
+                "reach",
+                reach_step,
+                fallback=reach_fallback,
+                fallback_name="abstract-bmc",
             )
-            record.reach_outcome = reach.outcome.value
-            record.reach_iterations = reach.iterations
             record.bdd_nodes = encoding.bdd.total_nodes()
-            if reach.outcome is ReachOutcome.FIXPOINT:
-                record.seconds = time.monotonic() - iter_start
-                self._log(f"[iter {index}] fixpoint: property VERIFIED")
-                verdict = finish(RfnStatus.VERIFIED)
-                verdict.abstract_model = model
-                verdict.invariant = reach.reached
-                verdict.invariant_encoding = encoding
-                return verdict
-            if reach.outcome is ReachOutcome.RESOURCE_OUT:
+            if not step.ok:
+                record.reach_outcome = "resource_out"
                 record.seconds = time.monotonic() - iter_start
                 return finish(
                     RfnStatus.RESOURCE_OUT,
-                    detail="reachability resource limit on abstract model",
+                    detail=(
+                        "reachability resource limit on abstract model: "
+                        f"{step.abort.describe()}"
+                    ),
+                    failure=step.abort,
                 )
 
-            try:
-                hybrid = HybridTraceEngine(
-                    model, encoding, images, atpg_budget=config.atpg_budget
+            abstract_trace: Optional[Trace] = None
+            reach = None
+            if step.fell_back:
+                record.fallbacks = "abstract-bmc"
+                bmc_result: BmcResult = step.value
+                if bmc_result.outcome is BmcOutcome.TRUE:
+                    record.reach_outcome = "bmc_induction_true"
+                    record.seconds = time.monotonic() - iter_start
+                    self._log(
+                        f"[iter {index}] abstract-model k-induction "
+                        f"closed at depth {bmc_result.induction_depth}: "
+                        f"property VERIFIED"
+                    )
+                    verdict = finish(RfnStatus.VERIFIED)
+                    verdict.abstract_model = model
+                    return verdict
+                record.reach_outcome = "bmc_counterexample"
+                abstract_trace = bmc_result.trace
+                self._log(
+                    f"[iter {index}] reachability degraded to abstract "
+                    f"BMC: counterexample at depth {bmc_result.depth}"
                 )
-                abstract_trace = hybrid.build_trace(reach, target)
-            except HybridEngineError as error:
-                record.seconds = time.monotonic() - iter_start
-                return finish(
-                    RfnStatus.RESOURCE_OUT,
-                    detail=f"hybrid engine: {error}",
+            else:
+                reach = step.value
+                record.reach_outcome = reach.outcome.value
+                record.reach_iterations = reach.iterations
+                record.bdd_nodes = encoding.bdd.total_nodes()
+                if reach.outcome is ReachOutcome.FIXPOINT:
+                    record.seconds = time.monotonic() - iter_start
+                    self._log(
+                        f"[iter {index}] fixpoint: property VERIFIED"
+                    )
+                    verdict = finish(RfnStatus.VERIFIED)
+                    verdict.abstract_model = model
+                    verdict.invariant = reach.reached
+                    verdict.invariant_encoding = encoding
+                    return verdict
+
+            if abstract_trace is None:
+
+                def hybrid_step(attempt: int):
+                    scale = config.retry_scale ** attempt
+                    atpg_budget = config.atpg_budget
+                    if attempt > 0:
+                        atpg_budget = replace(
+                            atpg_budget,
+                            max_conflicts=(
+                                None
+                                if atpg_budget.max_conflicts is None
+                                else int(atpg_budget.max_conflicts * scale)
+                            ),
+                        )
+                    hybrid = HybridTraceEngine(
+                        model,
+                        encoding,
+                        images,
+                        atpg_budget=atpg_budget,
+                        max_cube_tries=int(256 * scale),
+                        budget=budget,
+                    )
+                    self._hybrid_stats = hybrid.stats
+                    try:
+                        return hybrid.build_trace(reach, target)
+                    except HybridEngineError as error:
+                        raise EngineAbort(
+                            str(error), engine="hybrid", resource="cubes"
+                        ) from error
+
+                def hybrid_fallback(_attempt: int):
+                    # Bounded BMC on the abstract model, depth-limited by
+                    # the ring that hit the target.
+                    result = bmc(
+                        model,
+                        self.prop,
+                        max_depth=reach.hit_ring,
+                        max_conflicts=config.atpg_budget.max_conflicts,
+                        induction=False,
+                        budget=budget,
+                    )
+                    if result.outcome is not BmcOutcome.FALSE:
+                        raise DepthOut(
+                            f"bounded abstract BMC found no trace within "
+                            f"the hit ring depth {reach.hit_ring}",
+                            engine="hybrid-bmc",
+                        )
+                    return result.trace
+
+                step = supervisor.attempt(
+                    "hybrid",
+                    hybrid_step,
+                    validate=lambda t: (
+                        isinstance(t, Trace)
+                        and 0 < t.length <= reach.hit_ring + 1
+                    ),
+                    fallback=hybrid_fallback,
+                    fallback_name="hybrid-bmc",
                 )
+                if not step.ok:
+                    record.seconds = time.monotonic() - iter_start
+                    return finish(
+                        RfnStatus.RESOURCE_OUT,
+                        detail=f"hybrid engine: {step.abort.describe()}",
+                        failure=step.abort,
+                    )
+                abstract_trace = step.value
+                if step.fell_back:
+                    record.fallbacks = (
+                        f"{record.fallbacks},hybrid-bmc"
+                        if record.fallbacks
+                        else "hybrid-bmc"
+                    )
+                    self._log(
+                        f"[iter {index}] hybrid engine degraded to "
+                        f"bounded abstract BMC"
+                    )
+                else:
+                    hybrid_stats = self._hybrid_stats
+                    self._log(
+                        f"[iter {index}] abstract error trace of length "
+                        f"{abstract_trace.length} "
+                        f"(min-cut {hybrid_stats.mincut_inputs} vs model "
+                        f"{hybrid_stats.model_inputs} inputs)"
+                    )
+
             record.abstract_trace_length = abstract_trace.length
-            self._log(
-                f"[iter {index}] abstract error trace of length "
-                f"{abstract_trace.length} "
-                f"(min-cut {hybrid.stats.mincut_inputs} vs model "
-                f"{hybrid.stats.model_inputs} inputs)"
-            )
             if config.reuse_variable_order:
                 self._saved_order = encoding.saved_order()
 
             # Step 3: guided search on the original design.
             if config.enable_guided_search:
-                guided = guided_concrete_search(
-                    self.circuit,
-                    self.prop,
-                    [abstract_trace],
-                    budget=config.atpg_budget,
-                    use_guidance=config.guidance,
-                    extra_depth=config.guided_extra_depth,
-                    max_gate_frames=config.guided_max_gate_frames,
-                )
-                record.guided_method = guided.method
-                if guided.found:
-                    record.seconds = time.monotonic() - iter_start
-                    self._log(
-                        f"[iter {index}] concrete error trace found via "
-                        f"{guided.method}: property FALSIFIED"
-                    )
-                    return finish(
-                        RfnStatus.FALSIFIED,
-                        trace=guided.trace,
-                        abstract_trace=abstract_trace,
+
+                def guided_step(_attempt: int):
+                    return guided_concrete_search(
+                        self.circuit,
+                        self.prop,
+                        [abstract_trace],
+                        budget=replace(config.atpg_budget, runtime=budget),
+                        use_guidance=config.guidance,
+                        extra_depth=config.guided_extra_depth,
+                        max_gate_frames=config.guided_max_gate_frames,
                     )
 
+                step = supervisor.attempt("guided", guided_step, retries=0)
+                if step.ok:
+                    guided: GuidedSearchResult = step.value
+                    record.guided_method = guided.method
+                    if guided.found:
+                        record.seconds = time.monotonic() - iter_start
+                        self._log(
+                            f"[iter {index}] concrete error trace found "
+                            f"via {guided.method}: property FALSIFIED"
+                        )
+                        return finish(
+                            RfnStatus.FALSIFIED,
+                            trace=guided.trace,
+                            abstract_trace=abstract_trace,
+                        )
+                elif supervisor.budget_exhausted:
+                    record.seconds = time.monotonic() - iter_start
+                    return finish(
+                        RfnStatus.RESOURCE_OUT,
+                        abstract_trace=abstract_trace,
+                        detail=f"guided search: {step.abort.describe()}",
+                        failure=step.abort,
+                    )
+                else:
+                    # A contained guided-search failure is not fatal:
+                    # refinement can proceed without a concrete verdict.
+                    record.guided_method = "aborted"
+
             # Step 4: refine.
-            refinement = refine_from_trace(
-                self.abstraction,
-                abstract_trace,
-                budget=config.refine_budget,
-                minimize=config.enable_minimization,
-                fallback_count=config.fallback_candidates,
+            def refine_step(attempt: int):
+                refine_budget = replace(
+                    config.refine_budget, runtime=budget
+                )
+                if attempt > 0:
+                    scale = config.retry_scale ** attempt
+                    refine_budget = replace(
+                        refine_budget,
+                        max_conflicts=(
+                            None
+                            if refine_budget.max_conflicts is None
+                            else int(refine_budget.max_conflicts * scale)
+                        ),
+                    )
+                return refine_from_trace(
+                    self.abstraction,
+                    abstract_trace,
+                    budget=refine_budget,
+                    minimize=config.enable_minimization,
+                    fallback_count=config.fallback_candidates,
+                )
+
+            def refine_fallback(_attempt: int):
+                # Phase 1 only: 3-valued-simulation candidates without the
+                # ATPG minimization loop (cheap and always terminates).
+                return crucial_register_candidates(
+                    self.abstraction,
+                    abstract_trace,
+                    fallback_count=config.fallback_candidates,
+                )
+
+            step = supervisor.attempt(
+                "refine",
+                refine_step,
+                fallback=refine_fallback,
+                fallback_name="refine-phase1",
             )
+            if not step.ok:
+                record.seconds = time.monotonic() - iter_start
+                return finish(
+                    RfnStatus.RESOURCE_OUT,
+                    abstract_trace=abstract_trace,
+                    detail=f"refinement: {step.abort.describe()}",
+                    failure=step.abort,
+                )
+            refinement = step.value
+            if step.fell_back:
+                record.fallbacks = (
+                    f"{record.fallbacks},refine-phase1"
+                    if record.fallbacks
+                    else "refine-phase1"
+                )
             added = self.abstraction.refine(refinement.registers)
             record.refinement_added = added
             record.seconds = time.monotonic() - iter_start
@@ -315,4 +676,71 @@ class RFN:
                             "could not be invalidated)"
                         ),
                     )
+            self._completed = index
+            if (
+                config.checkpoint_path is not None
+                and index % max(1, config.checkpoint_every) == 0
+            ):
+                self.save_checkpoint(
+                    "in_progress", time.monotonic() - start
+                )
         return finish(RfnStatus.RESOURCE_OUT, detail="iteration limit")
+
+
+def rfn_verify(
+    circuit: Circuit,
+    prop: UnreachabilityProperty,
+    config: Optional[RfnConfig] = None,
+    *,
+    resume: Optional[RfnCheckpoint] = None,
+    observer: Optional[callable] = None,
+) -> RfnResult:
+    """Run RFN with the never-raises contract.
+
+    Any exception short of ``KeyboardInterrupt`` -- an
+    :class:`~repro.runtime.abort.EngineAbort` escaping an unsupervised
+    code path, a ``MemoryError``, an engine crash -- is converted into a
+    structured ``RESOURCE_OUT`` result whose ``failure`` names the
+    engine and resource, with whatever iterations completed attached.
+
+    ``observer``, if given, is called with the constructed :class:`RFN`
+    before the run starts, so callers that may be interrupted (the CLI)
+    can still reach the partial iteration records and save a checkpoint.
+    """
+    config = config or RfnConfig()
+    rfn = RFN(circuit, prop, config, resume=resume)
+    if observer is not None:
+        observer(rfn)
+    start = time.monotonic()
+    try:
+        return rfn.run()
+    except KeyboardInterrupt:
+        raise
+    except CONTAINED as error:
+        engine = rfn.supervisor.current_engine or "rfn"
+        failure = AbortInfo.from_exception(engine, error)
+    except Exception as error:
+        failure = AbortInfo(
+            engine=rfn.supervisor.current_engine or "rfn",
+            resource="crash",
+            detail=f"{type(error).__name__}: {error}",
+        )
+    elapsed = time.monotonic() - start
+    path = None
+    try:
+        path = rfn.save_checkpoint("resource_out", elapsed)
+    except OSError:
+        pass
+    return RfnResult(
+        status=RfnStatus.RESOURCE_OUT,
+        prop=prop,
+        iterations=list(rfn.iterations),
+        kept_registers=sorted(rfn.abstraction.kept_registers),
+        abstract_model_registers=len(rfn.abstraction.kept_registers),
+        seconds=elapsed,
+        detail=failure.describe(),
+        failure=failure,
+        aborts=list(rfn.supervisor.aborts),
+        checkpoint_path=path,
+        resumed_iterations=rfn.resumed_iterations,
+    )

@@ -26,6 +26,7 @@ from repro.fuzz.oracle import (
     run_oracle,
 )
 from repro.fuzz.shrink import save_reproducer, shrink_instance
+from repro.runtime.budget import Budget
 
 
 @dataclass
@@ -52,6 +53,8 @@ class CampaignResult:
     findings: List[Finding] = field(default_factory=list)
     verdict_counts: Dict[str, int] = field(default_factory=dict)
     budget_exhausted: bool = False
+    #: instances cut short by the per-instance budget (not findings)
+    resource_out_count: int = 0
     seconds: float = 0.0
 
     @property
@@ -67,6 +70,7 @@ class CampaignResult:
             "findings": [f.to_json() for f in self.findings],
             "instances": list(self.instances),
             "budget_exhausted": self.budget_exhausted,
+            "resource_out": self.resource_out_count,
             "seconds": round(self.seconds, 3),
         }
 
@@ -127,12 +131,17 @@ def run_campaign(
     corpus_dir: Optional[str] = None,
     shrink: bool = True,
     log: Optional[Callable[[str], None]] = None,
+    instance_seconds: Optional[float] = None,
 ) -> CampaignResult:
     """Run ``iters`` differential iterations starting at ``seed``.
 
     Stops early when ``budget_seconds`` runs out.  When ``corpus_dir``
     is given, every finding is shrunk and persisted there as
     ``fuzz<seed>.net``.
+
+    ``instance_seconds`` enforces a per-instance wall-clock budget so a
+    single hostile generated netlist cannot stall the whole campaign:
+    the instance is recorded as ``resource_out`` and the loop moves on.
     """
     gen_config = gen_config or GenConfig()
     oracle_config = oracle_config or OracleConfig()
@@ -152,12 +161,28 @@ def run_campaign(
             break
         instance_seed = seed + index
         instance = generate_instance(instance_seed, gen_config)
+        instance_budget = (
+            None
+            if instance_seconds is None
+            else Budget(
+                max_seconds=instance_seconds,
+                name=f"instance-{instance_seed}",
+            )
+        )
         report = run_oracle(
-            instance.circuit, instance.prop, oracle_config, engines=engines
+            instance.circuit,
+            instance.prop,
+            oracle_config,
+            engines=engines,
+            budget=instance_budget,
         )
         result.iterations_run += 1
         stats = instance.stats()
         stats["ok"] = report.ok
+        if report.resource_out:
+            result.resource_out_count += 1
+            stats["resource_out"] = True
+            note(f"instance {instance_seed}: per-instance budget hit")
         consensus = report.consensus
         stats["consensus"] = None if consensus is None else consensus.value
         result.instances.append(stats)

@@ -33,7 +33,7 @@ from __future__ import annotations
 import enum
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.certify import certify_error_trace, certify_invariant
@@ -48,6 +48,8 @@ from repro.mc.images import ImageComputer
 from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
 from repro.netlist.circuit import Circuit
 from repro.netlist.ops import coi_registers, extract_subcircuit
+from repro.runtime.abort import EngineAbort
+from repro.runtime.budget import Budget
 from repro.trace import Trace
 
 
@@ -76,6 +78,9 @@ class OracleConfig:
     kernel_chunk_lanes: int = 256
     certify: bool = True
     certify_max_conflicts: Optional[int] = 500_000
+    #: shared instance budget threaded into every engine; exhaustion
+    #: degrades that engine (and the rest of the instance) to UNKNOWN
+    budget: Optional[Budget] = None
 
 
 @dataclass
@@ -109,6 +114,8 @@ class OracleReport:
     failed_certificates: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     seconds: float = 0.0
+    #: did an instance budget cut one or more engines short?
+    resource_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -142,6 +149,7 @@ class OracleReport:
             "failed_certificates": list(self.failed_certificates),
             "errors": list(self.errors),
             "seconds": round(self.seconds, 4),
+            "resource_out": self.resource_out,
         }
 
     def summary(self) -> str:
@@ -170,6 +178,7 @@ def _run_bmc(
         max_conflicts=config.bmc_max_conflicts,
         induction=True,
         unique_states=True,
+        budget=config.budget,
     )
     if result.outcome is BmcOutcome.TRUE:
         return EngineVerdict(
@@ -209,7 +218,9 @@ def _run_bdd(
     images = ImageComputer(encoding)
     target = encoding.state_cube(dict(prop.target))
     limits = ReachLimits(
-        max_nodes=config.bdd_max_nodes, max_seconds=config.bdd_max_seconds
+        max_nodes=config.bdd_max_nodes,
+        max_seconds=config.bdd_max_seconds,
+        budget=config.budget,
     )
     reach = forward_reach(
         images, encoding.initial_states(), target=target, limits=limits
@@ -242,7 +253,9 @@ def _run_bdd(
 def _run_rfn(
     circuit: Circuit, prop: UnreachabilityProperty, config: OracleConfig
 ) -> EngineVerdict:
-    rfn_config = RfnConfig(max_seconds=config.rfn_max_seconds)
+    rfn_config = RfnConfig(
+        max_seconds=config.rfn_max_seconds, budget=config.budget
+    )
     result = RFN(circuit, prop, rfn_config).run()
     if result.status is RfnStatus.VERIFIED:
         verdict = EngineVerdict(
@@ -348,8 +361,12 @@ def _run_kernel(
         frontier.append(state)
 
     sim = BitParallelSimulator(circuit)
+    if config.budget is not None:
+        sim.checkpoint = config.budget.hook("kernel")
     explored = 0
     while frontier:
+        if config.budget is not None:
+            config.budget.checkpoint(engine="kernel")
         if len(parent) > config.kernel_max_states:
             return EngineVerdict(
                 "kernel", Verdict.UNKNOWN,
@@ -455,17 +472,44 @@ def run_oracle(
     prop: UnreachabilityProperty,
     config: Optional[OracleConfig] = None,
     engines: Optional[Sequence[str]] = None,
+    budget: Optional[Budget] = None,
 ) -> OracleReport:
-    """Run every engine on one instance and reconcile the verdicts."""
+    """Run every engine on one instance and reconcile the verdicts.
+
+    ``budget`` (or ``config.budget``) is a per-instance runtime budget:
+    once it expires, remaining engines report UNKNOWN instead of
+    running, and an in-flight engine that trips it is recorded as
+    UNKNOWN -- a resource limit is never a finding.
+    """
     config = config or OracleConfig()
+    if budget is not None:
+        config = replace(config, budget=budget)
+    budget = config.budget
     names = tuple(engines) if engines is not None else DEFAULT_ENGINES
     report = OracleReport(name=circuit.name)
     start = time.monotonic()
     for name in names:
         runner = ENGINES[name]
         engine_start = time.monotonic()
+        if budget is not None and budget.expired():
+            report.resource_out = True
+            report.verdicts.append(
+                EngineVerdict(
+                    name, Verdict.UNKNOWN, detail="instance budget exhausted"
+                )
+            )
+            continue
         try:
             verdict = runner(circuit, prop, config)
+        except (EngineAbort, MemoryError) as error:
+            # A budget stop is a resource limit, not an engine bug.
+            report.resource_out = True
+            verdict = EngineVerdict(
+                name,
+                Verdict.UNKNOWN,
+                detail=f"instance budget: {error}",
+                seconds=time.monotonic() - engine_start,
+            )
         except Exception as error:  # an engine crash is itself a finding
             verdict = EngineVerdict(
                 name,
@@ -480,6 +524,9 @@ def run_oracle(
         ):
             try:
                 _certify_verdict(circuit, prop, verdict, config)
+            except (EngineAbort, MemoryError):
+                # Budget ran out mid-certification: not a finding.
+                report.resource_out = True
             except Exception as error:
                 verdict.certificate = "failed"
                 verdict.certificate_detail = (

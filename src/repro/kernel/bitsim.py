@@ -28,7 +28,17 @@ trace-replay convention of Section 2.4).
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.kernel.compile import (
     CompiledCircuit,
@@ -180,9 +190,16 @@ class BitParallelSimulator:
     so constructing one per call site is cheap.
     """
 
+    #: plan ops between cooperative ``checkpoint`` polls
+    CHECKPOINT_OPS = 2048
+
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
         self._cc = compiled(circuit)
+        # Optional zero-arg cancellation poll (a runtime Budget hook).
+        # When unset the evaluate loop runs the whole plan in one
+        # unsegmented sweep, so the hot path pays nothing for it.
+        self.checkpoint: Optional[Callable[[], None]] = None
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -248,54 +265,66 @@ class BitParallelSimulator:
                     f0[i] = (f0[i] & keep) | (planes[0] & m)
                     f1[i] = (f1[i] & keep) | (planes[1] & m)
 
-        for op, out, operands in cc.plan:
-            if op == OP_AND or op == OP_NAND:
-                a0 = 0
-                a1 = mask
-                for i in operands:
-                    a0 |= f0[i]
-                    a1 &= f1[i]
-                if op == OP_NAND:
-                    a0, a1 = a1, a0
-            elif op == OP_OR or op == OP_NOR:
-                a0 = mask
-                a1 = 0
-                for i in operands:
-                    a0 &= f0[i]
-                    a1 |= f1[i]
-                if op == OP_NOR:
-                    a0, a1 = a1, a0
-            elif op == OP_NOT:
-                i = operands[0]
-                a0 = f1[i]
-                a1 = f0[i]
-            elif op == OP_BUF:
-                i = operands[0]
-                a0 = f0[i]
-                a1 = f1[i]
-            elif op == OP_XOR or op == OP_XNOR:
-                a0 = mask  # ZERO
-                a1 = 0
-                for i in operands:
-                    b0 = f0[i]
-                    b1 = f1[i]
-                    a0, a1 = (a0 & b0) | (a1 & b1), (a0 & b1) | (a1 & b0)
-                if op == OP_XNOR:
-                    a0, a1 = a1, a0
-            elif op == OP_MUX:
-                s, d0, d1 = operands
-                s0 = f0[s]
-                s1 = f1[s]
-                a0 = (s0 & f0[d0]) | (s1 & f0[d1])
-                a1 = (s0 & f1[d0]) | (s1 & f1[d1])
-            elif op == OP_CONST0:
-                a0 = mask
-                a1 = 0
-            else:  # OP_CONST1
-                a0 = 0
-                a1 = mask
-            f0[out] = a0
-            f1[out] = a1
+        checkpoint = self.checkpoint
+        if checkpoint is None:
+            segments = (cc.plan,)
+        else:
+            step = self.CHECKPOINT_OPS
+            segments = tuple(
+                cc.plan[i : i + step]
+                for i in range(0, len(cc.plan), step)
+            ) or ((),)
+        for segment in segments:
+            if checkpoint is not None:
+                checkpoint()
+            for op, out, operands in segment:
+                if op == OP_AND or op == OP_NAND:
+                    a0 = 0
+                    a1 = mask
+                    for i in operands:
+                        a0 |= f0[i]
+                        a1 &= f1[i]
+                    if op == OP_NAND:
+                        a0, a1 = a1, a0
+                elif op == OP_OR or op == OP_NOR:
+                    a0 = mask
+                    a1 = 0
+                    for i in operands:
+                        a0 &= f0[i]
+                        a1 |= f1[i]
+                    if op == OP_NOR:
+                        a0, a1 = a1, a0
+                elif op == OP_NOT:
+                    i = operands[0]
+                    a0 = f1[i]
+                    a1 = f0[i]
+                elif op == OP_BUF:
+                    i = operands[0]
+                    a0 = f0[i]
+                    a1 = f1[i]
+                elif op == OP_XOR or op == OP_XNOR:
+                    a0 = mask  # ZERO
+                    a1 = 0
+                    for i in operands:
+                        b0 = f0[i]
+                        b1 = f1[i]
+                        a0, a1 = (a0 & b0) | (a1 & b1), (a0 & b1) | (a1 & b0)
+                    if op == OP_XNOR:
+                        a0, a1 = a1, a0
+                elif op == OP_MUX:
+                    s, d0, d1 = operands
+                    s0 = f0[s]
+                    s1 = f1[s]
+                    a0 = (s0 & f0[d0]) | (s1 & f0[d1])
+                    a1 = (s0 & f1[d0]) | (s1 & f1[d1])
+                elif op == OP_CONST0:
+                    a0 = mask
+                    a1 = 0
+                else:  # OP_CONST1
+                    a0 = 0
+                    a1 = mask
+                f0[out] = a0
+                f1[out] = a1
 
         PERF.record_sweep(len(cc.plan), lanes, time.perf_counter() - start)
         return Frame(cc, f0, f1, lanes)

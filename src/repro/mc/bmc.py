@@ -53,12 +53,16 @@ def _bounded_step(
     prop: UnreachabilityProperty,
     depth: int,
     max_conflicts: Optional[int],
+    deadline: Optional[float] = None,
+    budget=None,
 ) -> Optional[Trace]:
     """SAT query: init & T^depth & bad@depth.  Returns a trace or None."""
     unroller = Unroller(circuit, depth + 1, use_initial_state=True)
     for lit in _bad_literals(unroller, prop, depth):
         unroller.cnf.add_unit(lit)
-    result = Solver(unroller.cnf).solve(max_conflicts=max_conflicts)
+    result = Solver(unroller.cnf).solve(
+        max_conflicts=max_conflicts, deadline=deadline, budget=budget
+    )
     if result.status is not SatStatus.SAT:
         return None
     trace = Trace(circuit_name=circuit.name)
@@ -76,6 +80,8 @@ def _induction_step(
     depth: int,
     max_conflicts: Optional[int],
     unique_states: bool,
+    deadline: Optional[float] = None,
+    budget=None,
 ) -> Optional[bool]:
     """SAT query: ~bad@0..depth-1 & T^depth & bad@depth with a free start.
 
@@ -103,7 +109,9 @@ def _induction_step(
                     )
                     difference.append(neq)
                 cnf.add_clause(difference)
-    result = Solver(cnf).solve(max_conflicts=max_conflicts)
+    result = Solver(cnf).solve(
+        max_conflicts=max_conflicts, deadline=deadline, budget=budget
+    )
     if result.status is SatStatus.UNSAT:
         return True
     if result.status is SatStatus.SAT:
@@ -119,14 +127,24 @@ def bmc(
     induction: bool = True,
     unique_states: bool = False,
     use_coi: bool = True,
+    max_seconds: Optional[float] = None,
+    budget=None,
 ) -> BmcResult:
     """Iteratively-deepened bounded model checking with k-induction.
 
     At each depth ``k``: look for a length-``k`` counterexample; if none
     and ``induction`` is on, try to close the proof with the ``k``-step
     induction obligation.
+
+    ``max_seconds`` bounds the whole run (each SAT call inherits the
+    remaining wall clock; an exceeded deadline yields UNKNOWN).
+    ``budget`` optionally attaches a :class:`repro.runtime.Budget`,
+    whose exhaustion raises a structured ``EngineAbort`` instead.
     """
     start = time.monotonic()
+    deadline = (
+        None if max_seconds is None else start + max_seconds
+    )
     prop.validate_against(circuit)
     model = circuit
     if use_coi:
@@ -135,7 +153,13 @@ def bmc(
             circuit, coi, prop.signals(), name=f"{circuit.name}.coi"
         )
     for depth in range(max_depth + 1):
-        trace = _bounded_step(model, prop, depth, max_conflicts)
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        if budget is not None:
+            budget.checkpoint(engine="bmc")
+        trace = _bounded_step(
+            model, prop, depth, max_conflicts, deadline, budget
+        )
         if trace is not None:
             return BmcResult(
                 BmcOutcome.FALSE,
@@ -145,7 +169,8 @@ def bmc(
             )
         if induction and depth >= 1:
             holds = _induction_step(
-                model, prop, depth, max_conflicts, unique_states
+                model, prop, depth, max_conflicts, unique_states,
+                deadline, budget,
             )
             if holds:
                 return BmcResult(

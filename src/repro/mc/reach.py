@@ -9,7 +9,12 @@ backwards (Section 2.2).
 
 Resource limits (iterations, BDD nodes, wall-clock) end the run with the
 ``RESOURCE_OUT`` outcome -- the honest answer a Python BDD engine must
-give on designs the paper's C engines also found hard.
+give on designs the paper's C engines also found hard.  When a runtime
+:class:`~repro.runtime.budget.Budget` is attached via
+``ReachLimits.budget``, its deadline/memory watermark is polled inside
+image computations (through the manager's ``checkpoint_hook``) and the
+abort is folded into the same ``RESOURCE_OUT`` outcome with the
+exhausted resource recorded in ``ReachResult.abort_resource``.
 """
 
 from __future__ import annotations
@@ -20,8 +25,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.bdd import Function
-from repro.bdd.manager import BDDNodeLimit
 from repro.mc.images import ImageComputer
+from repro.runtime.abort import EngineAbort
+from repro.runtime.budget import Budget
 
 
 class ReachOutcome(enum.Enum):
@@ -35,6 +41,8 @@ class ReachLimits:
     max_iterations: Optional[int] = None
     max_nodes: Optional[int] = 2_000_000
     max_seconds: Optional[float] = None
+    #: optional runtime budget polled inside image computations
+    budget: Optional[Budget] = None
 
 
 @dataclass
@@ -45,6 +53,8 @@ class ReachResult:
     iterations: int = 0
     hit_ring: Optional[int] = None
     seconds: float = 0.0
+    #: which resource forced RESOURCE_OUT ("nodes", "time", ...), if known
+    abort_resource: Optional[str] = None
 
     @property
     def fixpoint_reached(self) -> bool:
@@ -66,6 +76,7 @@ def forward_reach(
     RFN uses it to trigger dynamic variable reordering at safe points.
     """
     limits = limits or ReachLimits()
+    budget = limits.budget
     bdd = images.bdd
     start = time.monotonic()
     reached = init
@@ -77,13 +88,30 @@ def forward_reach(
     # into a clean RESOURCE_OUT (the soft per-step check only runs between
     # steps).  Allocation is append-only, so leave generous headroom.
     saved_node_limit = bdd.node_limit
-    if limits.max_nodes is not None:
-        bdd.node_limit = max(
-            limits.max_nodes * 4, len(bdd._level) + limits.max_nodes
+    max_nodes = limits.max_nodes
+    if budget is not None and budget.max_bdd_nodes is not None:
+        max_nodes = (
+            budget.max_bdd_nodes
+            if max_nodes is None
+            else min(max_nodes, budget.max_bdd_nodes)
         )
+    if max_nodes is not None:
+        bdd.node_limit = max(
+            max_nodes * 4, len(bdd._level) + max_nodes
+        )
+    # The checkpoint hook lets the budget's deadline fire *inside* one
+    # enormous image computation, not just between fixpoint steps.
+    saved_hook = bdd.checkpoint_hook
+    if budget is not None:
+        bdd.checkpoint_hook = budget.hook("bdd")
 
-    def make_result(outcome: ReachOutcome, hit: Optional[int] = None):
+    def make_result(
+        outcome: ReachOutcome,
+        hit: Optional[int] = None,
+        resource: Optional[str] = None,
+    ):
         bdd.node_limit = saved_node_limit
+        bdd.checkpoint_hook = saved_hook
         return ReachResult(
             outcome=outcome,
             reached=reached,
@@ -91,6 +119,7 @@ def forward_reach(
             iterations=iteration,
             hit_ring=hit,
             seconds=time.monotonic() - start,
+            abort_resource=resource,
         )
 
     if target is not None and not (init & target).is_false:
@@ -98,21 +127,31 @@ def forward_reach(
 
     while True:
         if limits.max_iterations is not None and iteration >= limits.max_iterations:
-            return make_result(ReachOutcome.RESOURCE_OUT)
+            return make_result(
+                ReachOutcome.RESOURCE_OUT, resource="iterations"
+            )
         if limits.max_seconds is not None and (
             time.monotonic() - start > limits.max_seconds
         ):
-            return make_result(ReachOutcome.RESOURCE_OUT)
-        if limits.max_nodes is not None and bdd.total_nodes() > limits.max_nodes:
+            return make_result(ReachOutcome.RESOURCE_OUT, resource="time")
+        if max_nodes is not None and bdd.total_nodes() > max_nodes:
             bdd.collect_garbage()
-            if bdd.total_nodes() > limits.max_nodes:
-                return make_result(ReachOutcome.RESOURCE_OUT)
+            if bdd.total_nodes() > max_nodes:
+                return make_result(
+                    ReachOutcome.RESOURCE_OUT, resource="nodes"
+                )
         iteration += 1
         try:
+            if budget is not None:
+                budget.checkpoint(engine="reach")
             image = images.post_image(frontier)
             new = image - reached
-        except BDDNodeLimit:
-            return make_result(ReachOutcome.RESOURCE_OUT)
+        except EngineAbort as abort:
+            # BDDNodeLimit is a NodesOut, so real allocation blowups and
+            # budget deadline/memory aborts both land here.
+            return make_result(
+                ReachOutcome.RESOURCE_OUT, resource=abort.resource
+            )
         if new.is_false:
             return make_result(ReachOutcome.FIXPOINT)
         if keep_rings:

@@ -1,0 +1,225 @@
+"""Deterministic fault injection for the engine runtime.
+
+A :class:`ChaosMonkey` sits between the portfolio supervisor and the
+engines and, on a seeded or explicitly planned schedule, makes an engine
+call fail exactly the way real blowups do:
+
+========  ======================================================
+fault     effect on the wrapped call
+========  ======================================================
+timeout   raises :class:`~repro.runtime.abort.Timeout` (injected)
+nodes     raises the real ``bdd.manager.BDDNodeLimit``
+memory    raises ``MemoryError``
+garbage   replaces the engine's result with a :class:`Garbage`
+          sentinel (a corrupted verdict the supervisor must catch)
+========  ======================================================
+
+Schedules are fully deterministic: an explicit *plan* names the call
+indices to break (``{"hybrid": {0: "timeout"}}`` breaks only the first
+hybrid call; ``{"reach": "nodes"}`` breaks every reach call), and the
+seeded *rate* mode hashes ``(seed, site, call_index)`` so the same seed
+always injects the same faults.  Tests use this to prove the supervisor
+contains every fault class at every site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.runtime.abort import Timeout
+
+FAULTS: Tuple[str, ...] = ("timeout", "nodes", "memory", "garbage")
+
+PlanSpec = Mapping[str, Union[str, Mapping[int, str]]]
+
+
+class Garbage:
+    """Sentinel standing in for a corrupted engine result.  The
+    supervisor rejects it before any validator runs, so a garbage
+    verdict can never leak into a caller."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+
+    def __repr__(self) -> str:
+        return f"Garbage(site={self.site!r})"
+
+
+class ChaosError(ValueError):
+    """Raised for malformed chaos specifications."""
+
+
+class ChaosMonkey:
+    """Deterministic fault injector (see module docstring).
+
+    ``plan`` maps a site name to either a fault string (every call) or
+    a ``{call_index: fault}`` mapping.  With no plan, ``rate`` > 0
+    injects seeded-pseudo-random faults drawn from ``faults``.
+    ``max_injections`` caps the total faults injected (so a high-rate
+    monkey cannot starve a run forever).
+    """
+
+    def __init__(
+        self,
+        plan: Optional[PlanSpec] = None,
+        seed: int = 0,
+        rate: float = 0.0,
+        faults: Sequence[str] = FAULTS,
+        max_injections: Optional[int] = None,
+    ) -> None:
+        self.plan: Dict[str, Union[str, Dict[int, str]]] = {}
+        for site, spec in (plan or {}).items():
+            if isinstance(spec, str):
+                self._check_fault(spec)
+                self.plan[site] = spec
+            else:
+                entry = {int(k): v for k, v in spec.items()}
+                for fault in entry.values():
+                    self._check_fault(fault)
+                self.plan[site] = entry
+        self.seed = seed
+        self.rate = rate
+        self.faults = tuple(faults)
+        for fault in self.faults:
+            self._check_fault(fault)
+        self.max_injections = max_injections
+        self.calls: Dict[str, int] = {}
+        self.injections: List[Tuple[str, int, str]] = []
+        self._pending_garbage: Dict[str, bool] = {}
+
+    @staticmethod
+    def _check_fault(fault: str) -> None:
+        if fault not in FAULTS:
+            raise ChaosError(
+                f"unknown fault {fault!r}; expected one of {FAULTS}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosMonkey":
+        """Parse a CLI chaos spec.
+
+        Grammar: ``site=fault[@index][,site=fault[@index]]...`` -- an
+        ``@index`` limits the fault to that 0-based call, otherwise the
+        site fails on every call.  Example:
+        ``"hybrid=timeout@0,reach=nodes"``.
+        """
+        plan: Dict[str, Union[str, Dict[int, str]]] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ChaosError(
+                    f"bad chaos item {item!r}; use site=fault[@index]"
+                )
+            site, _, fault = item.partition("=")
+            site = site.strip()
+            fault = fault.strip()
+            index: Optional[int] = None
+            if "@" in fault:
+                fault, _, idx_text = fault.partition("@")
+                try:
+                    index = int(idx_text)
+                except ValueError:
+                    raise ChaosError(
+                        f"bad chaos call index {idx_text!r} in {item!r}"
+                    ) from None
+            cls._check_fault(fault)
+            if index is None:
+                plan[site] = fault
+            else:
+                entry = plan.setdefault(site, {})
+                if isinstance(entry, str):
+                    raise ChaosError(
+                        f"site {site!r} given both every-call and "
+                        f"indexed faults"
+                    )
+                entry[index] = fault
+        if not plan:
+            raise ChaosError(f"empty chaos spec {spec!r}")
+        return cls(plan=plan)
+
+    # ------------------------------------------------------------------
+
+    def _hash_fraction(self, site: str, index: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{site}:{index}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def fault_for(self, site: str, index: int) -> Optional[str]:
+        """The fault scheduled for call ``index`` of ``site`` (pure;
+        does not advance counters)."""
+        planned = self.plan.get(site)
+        if isinstance(planned, str):
+            return planned
+        if isinstance(planned, dict):
+            return planned.get(index)
+        if self.plan:
+            return None  # explicit plan: unlisted sites are healthy
+        if self.rate <= 0.0:
+            return None
+        fraction = self._hash_fraction(site, index)
+        if fraction >= self.rate:
+            return None
+        pick = int(fraction / self.rate * len(self.faults))
+        return self.faults[min(pick, len(self.faults) - 1)]
+
+    def _spent(self) -> bool:
+        return (
+            self.max_injections is not None
+            and len(self.injections) >= self.max_injections
+        )
+
+    def before(self, site: str) -> None:
+        """Chaos point at the start of one engine call.  Raises the
+        scheduled fault, or arms a garbage substitution for
+        :meth:`mangle` to apply to the call's result."""
+        index = self.calls.get(site, 0)
+        self.calls[site] = index + 1
+        self._pending_garbage[site] = False
+        if self._spent():
+            return
+        fault = self.fault_for(site, index)
+        if fault is None:
+            return
+        if fault == "garbage":
+            self._pending_garbage[site] = True
+            self.injections.append((site, index, fault))
+            return
+        self.injections.append((site, index, fault))
+        detail = f"chaos: injected {fault} in {site!r} (call {index})"
+        if fault == "timeout":
+            raise Timeout(detail, engine=site, injected=True)
+        if fault == "memory":
+            raise MemoryError(detail)
+        # fault == "nodes": raise the genuine manager exception so the
+        # containment tests exercise the exact production type.
+        from repro.bdd.manager import BDDNodeLimit
+
+        error = BDDNodeLimit(detail)
+        error.engine = site
+        error.injected = True
+        raise error
+
+    def mangle(self, site: str, value):
+        """Chaos point on an engine call's result: substitute garbage
+        when :meth:`before` armed it."""
+        if self._pending_garbage.pop(site, False):
+            return Garbage(site)
+        return value
+
+    def stats(self) -> dict:
+        return {
+            "calls": dict(self.calls),
+            "injections": [list(i) for i in self.injections],
+        }
+
+    def __repr__(self) -> str:
+        mode = f"plan={self.plan!r}" if self.plan else (
+            f"seed={self.seed}, rate={self.rate}"
+        )
+        return f"ChaosMonkey({mode}, injected={len(self.injections)})"

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -379,15 +380,52 @@ class Solver:
         max_conflicts: Optional[int] = None,
         max_decisions: Optional[int] = None,
         max_propagations: Optional[int] = None,
+        deadline: Optional[float] = None,
+        budget=None,
     ) -> SatResult:
         """Search for a model consistent with ``assumptions``.
 
         Returns SAT with a total model, UNSAT, or UNKNOWN when a budget is
-        exhausted.
+        exhausted.  ``deadline`` is an absolute ``time.monotonic()``
+        instant: the restart loop and the per-decision poll check it so
+        no SAT call can exceed a wall-clock limit (UNKNOWN is returned,
+        matching the conflict/decision budget semantics).  ``budget`` is
+        an optional :class:`repro.runtime.Budget`: conflicts/decisions
+        are charged to it as search progresses and its ``checkpoint``
+        raises a structured :class:`repro.runtime.EngineAbort` -- the
+        exception-based path the portfolio supervisor consumes.
         """
         stats_base = (self.conflicts, self.decisions, self.propagations)
+        if budget is not None:
+            budget_deadline = budget.deadline
+            if budget_deadline is not None:
+                deadline = (
+                    budget_deadline
+                    if deadline is None
+                    else min(deadline, budget_deadline)
+                )
+
+        charged = [0, 0]  # conflicts, decisions already charged to budget
+
+        def sync_budget(enforce: bool = True) -> None:
+            if budget is None:
+                return
+            spent_conflicts = self.conflicts - stats_base[0]
+            spent_decisions = self.decisions - stats_base[1]
+            budget.charge(
+                conflicts=spent_conflicts - charged[0],
+                decisions=spent_decisions - charged[1],
+                engine="sat",
+                enforce=enforce,
+            )
+            charged[0] = spent_conflicts
+            charged[1] = spent_decisions
+            if enforce:
+                budget.checkpoint(engine="sat")
 
         def result(status: SatStatus, model: Optional[Dict[int, bool]] = None):
+            # Definite answers still account their cost, without raising.
+            sync_budget(enforce=status is SatStatus.UNKNOWN)
             return SatResult(
                 status=status,
                 model=model or {},
@@ -414,6 +452,9 @@ class Solver:
         conflicts_at_start = self.conflicts
 
         def out_of_budget() -> bool:
+            if deadline is not None and time.monotonic() >= deadline:
+                return True
+            sync_budget()  # raises EngineAbort when a runtime limit trips
             if max_conflicts is not None and (
                 self.conflicts - conflicts_at_start >= max_conflicts
             ):
@@ -429,14 +470,20 @@ class Solver:
             return False
 
         while True:
-            budget = restart_base * self._luby(restart_round)
+            conflict_budget = restart_base * self._luby(restart_round)
             restart_round += 1
-            status = self._search(
-                budget,
-                assumption_list,
-                max_learned,
-                out_of_budget,
-            )
+            try:
+                status = self._search(
+                    conflict_budget,
+                    assumption_list,
+                    max_learned,
+                    out_of_budget,
+                )
+            except BaseException:
+                # A runtime Budget abort (or interrupt) mid-search: leave
+                # the solver reusable before propagating.
+                self._backtrack(0)
+                raise
             if status is SatStatus.SAT:
                 model = {
                     var: self._value[var] == 1
@@ -493,6 +540,10 @@ class Solver:
                     self._bump_clause(clause)
                     self._enqueue(learned[0], clause)
                 self._decay_activities()
+                # Conflict-heavy phases reach few decisions, so poll the
+                # wall-clock/runtime budget on the conflict path too.
+                if local_conflicts % 256 == 0 and out_of_budget():
+                    return None
                 continue
             if local_conflicts >= conflict_budget:
                 return None  # restart

@@ -1,11 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import _parse_target, main
 from repro.designs import one_hot_ring, toggler
 from repro.designs.counters import saturating_counter, shift_chain
 from repro.netlist import circuit_to_text
+from tests.conftest import buggy_counter
 
 
 @pytest.fixture
@@ -88,6 +93,98 @@ class TestVerify:
         path, wd = true_netlist
         main(["verify", path, "--watchdog", wd, "--verbose"])
         assert "[iter" in capsys.readouterr().out
+
+
+@pytest.fixture
+def buggy_netlist(tmp_path):
+    """A falsifiable design that needs several CEGAR iterations, so
+    --max-iterations 1 really interrupts it."""
+    circuit, prop = buggy_counter()
+    path = tmp_path / "buggy.net"
+    path.write_text(circuit_to_text(circuit))
+    return str(path), prop.signals()[0]
+
+
+class TestResilienceCli:
+    def test_timeout_exit_resource_out(self, true_netlist, capsys):
+        path, wd = true_netlist
+        code = main(["verify", path, "--watchdog", wd,
+                     "--timeout", "0.0"])
+        assert code == 2
+        assert "resource out" in capsys.readouterr().out
+
+    def test_missing_target_is_usage_error(self, true_netlist, capsys):
+        path, _ = true_netlist
+        assert main(["verify", path]) == 3
+        assert "--watchdog" in capsys.readouterr().err
+
+    def test_resume_only_for_rfn(self, true_netlist, capsys):
+        path, wd = true_netlist
+        code = main(["verify", path, "--watchdog", wd,
+                     "--engine", "bmc", "--resume", "nope.json"])
+        assert code == 3
+
+    def test_checkpoint_resume_flow(self, buggy_netlist, tmp_path,
+                                    capsys):
+        path, wd = buggy_netlist
+        ck = str(tmp_path / "ck.json")
+        code = main(["verify", path, "--watchdog", wd,
+                     "--max-iterations", "1", "--checkpoint", ck])
+        assert code == 2
+        assert os.path.exists(ck)
+        capsys.readouterr()
+        # Resume without restating the target: it comes from the
+        # checkpoint, and the run completes with the true verdict.
+        code = main(["verify", path, "--resume", ck])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "falsified" in out
+        assert "resumed from" in out
+
+    def test_chaos_injection_smoke(self, buggy_netlist, capsys):
+        path, wd = buggy_netlist
+        code = main(["verify", path, "--watchdog", wd,
+                     "--chaos", "reach=timeout"])
+        assert code == 1  # BMC fallback still falsifies
+        assert "fallback engines used" in capsys.readouterr().out
+
+    def test_chaos_bad_spec_is_usage_error(self, buggy_netlist):
+        path, wd = buggy_netlist
+        code = main(["verify", path, "--watchdog", wd,
+                     "--chaos", "reach=segfault"])
+        assert code == 3
+
+    def test_keyboard_interrupt_partial_report(
+        self, buggy_netlist, tmp_path, capsys, monkeypatch
+    ):
+        path, wd = buggy_netlist
+        ck = str(tmp_path / "ck.json")
+
+        def interrupted_rfn_verify(circuit, prop, config=None, *,
+                                   resume=None, observer=None):
+            from repro.core.rfn import RFN
+
+            if observer is not None:
+                observer(RFN(circuit, prop, config, resume=resume))
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "rfn_verify", interrupted_rfn_verify)
+        code = main(["verify", path, "--watchdog", wd,
+                     "--checkpoint", ck, "--timeout", "30"])
+        assert code == 130
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["status"] == "interrupted"
+        assert report["checkpoint"] == ck
+        assert os.path.exists(ck)
+        assert report["budget_spent"]["seconds"] >= 0.0
+        assert "interrupted" in captured.err
+
+    def test_fuzz_instance_budget(self, capsys):
+        code = main(["fuzz", "--iters", "2", "--seed", "5",
+                     "--instance-budget", "0.0", "--no-shrink"])
+        assert code == 0
+        assert "per-instance budget" in capsys.readouterr().out
 
 
 class TestCoverage:

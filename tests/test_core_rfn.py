@@ -77,11 +77,29 @@ class TestResourceLimits:
         assert result.status is RfnStatus.RESOURCE_OUT
         assert result.detail == "time limit"
 
-    def test_reach_resource_out_propagates(self):
+    def test_reach_resource_out_degrades_to_bmc_fallback(self):
+        # A reachability blowup no longer kills the run: the supervisor
+        # retries with scaled limits and then falls back to k-induction
+        # BMC on the abstract model, so the correct verdict survives.
         c, prop = buggy_counter()
         config = RfnConfig(reach_limits=ReachLimits(max_iterations=1))
         result = RFN(c, prop, config).run()
+        assert result.status is RfnStatus.FALSIFIED
+        assert result.aborts  # the reach aborts were contained, not lost
+
+    def test_reach_resource_out_without_fallback_names_resource(self):
+        # With the fallback depth too shallow to conclude anything, the
+        # run degrades to RESOURCE_OUT naming the exhausted resource.
+        c, prop = buggy_counter()
+        config = RfnConfig(
+            reach_limits=ReachLimits(max_iterations=1),
+            max_retries=0,
+            fallback_bmc_depth=0,
+        )
+        result = RFN(c, prop, config).run()
         assert result.status is RfnStatus.RESOURCE_OUT
+        assert result.failure is not None
+        assert result.failure.resource in ("iterations", "depth")
 
 
 class TestConfigKnobs:

@@ -1,0 +1,201 @@
+"""Fault-injection tests: the chaos monkey's deterministic schedules,
+its CLI grammar, and the containment guarantee -- ``rfn_verify`` never
+raises and never returns a wrong verdict under injected faults at any
+site."""
+
+import pytest
+
+from repro.core import RfnConfig, RfnStatus, rfn_verify
+from repro.runtime import ChaosMonkey, Timeout
+from repro.runtime.chaos import FAULTS, ChaosError, Garbage
+
+from tests.conftest import buggy_counter, chain_design, toggle_design
+
+#: the supervised RFN step sites a fault can hit
+SITES = ("reach", "hybrid", "guided", "refine")
+
+
+class TestSchedules:
+    def test_plan_every_call(self):
+        monkey = ChaosMonkey(plan={"reach": "timeout"})
+        assert monkey.fault_for("reach", 0) == "timeout"
+        assert monkey.fault_for("reach", 99) == "timeout"
+        assert monkey.fault_for("hybrid", 0) is None
+
+    def test_plan_indexed_call(self):
+        monkey = ChaosMonkey(plan={"reach": {1: "nodes"}})
+        assert monkey.fault_for("reach", 0) is None
+        assert monkey.fault_for("reach", 1) == "nodes"
+
+    def test_rate_mode_is_deterministic(self):
+        a = ChaosMonkey(seed=7, rate=0.5)
+        b = ChaosMonkey(seed=7, rate=0.5)
+        schedule = [a.fault_for("reach", i) for i in range(64)]
+        assert schedule == [b.fault_for("reach", i) for i in range(64)]
+        assert any(f is not None for f in schedule)
+        assert any(f is None for f in schedule)
+
+    def test_rate_mode_depends_on_seed(self):
+        a = [ChaosMonkey(seed=1, rate=0.5).fault_for("reach", i)
+             for i in range(64)]
+        b = [ChaosMonkey(seed=2, rate=0.5).fault_for("reach", i)
+             for i in range(64)]
+        assert a != b
+
+    def test_max_injections_cap(self):
+        monkey = ChaosMonkey(plan={"reach": "timeout"}, max_injections=2)
+        for _ in range(2):
+            with pytest.raises(Timeout):
+                monkey.before("reach")
+        monkey.before("reach")  # cap reached: healthy from now on
+        assert len(monkey.injections) == 2
+
+    def test_before_raises_injected_timeout(self):
+        monkey = ChaosMonkey(plan={"reach": "timeout"})
+        with pytest.raises(Timeout) as excinfo:
+            monkey.before("reach")
+        assert excinfo.value.injected
+        assert excinfo.value.engine == "reach"
+
+    def test_before_raises_real_bdd_node_limit(self):
+        from repro.bdd.manager import BDDNodeLimit
+
+        monkey = ChaosMonkey(plan={"reach": "nodes"})
+        with pytest.raises(BDDNodeLimit):
+            monkey.before("reach")
+
+    def test_garbage_is_armed_then_mangled(self):
+        monkey = ChaosMonkey(plan={"hybrid": "garbage"})
+        monkey.before("hybrid")
+        mangled = monkey.mangle("hybrid", "real result")
+        assert isinstance(mangled, Garbage)
+        # Only the armed call is mangled.
+        monkey2 = ChaosMonkey(plan={})
+        monkey2.before("hybrid")
+        assert monkey2.mangle("hybrid", "real") == "real"
+
+    def test_stats(self):
+        monkey = ChaosMonkey(plan={"reach": {0: "garbage"}})
+        monkey.before("reach")
+        monkey.mangle("reach", 1)
+        stats = monkey.stats()
+        assert stats["calls"] == {"reach": 1}
+        assert stats["injections"] == [["reach", 0, "garbage"]]
+
+
+class TestParseGrammar:
+    def test_every_call(self):
+        monkey = ChaosMonkey.parse("reach=timeout")
+        assert monkey.plan == {"reach": "timeout"}
+
+    def test_indexed_and_mixed(self):
+        monkey = ChaosMonkey.parse("reach=timeout@0,hybrid=garbage")
+        assert monkey.plan == {"reach": {0: "timeout"},
+                               "hybrid": "garbage"}
+
+    def test_unknown_fault(self):
+        with pytest.raises(ChaosError):
+            ChaosMonkey.parse("reach=segfault")
+
+    def test_bad_index(self):
+        with pytest.raises(ChaosError):
+            ChaosMonkey.parse("reach=timeout@x")
+
+    def test_missing_equals(self):
+        with pytest.raises(ChaosError):
+            ChaosMonkey.parse("reach")
+
+    def test_empty_spec(self):
+        with pytest.raises(ChaosError):
+            ChaosMonkey.parse(" , ")
+
+    def test_conflicting_specs_for_site(self):
+        with pytest.raises(ChaosError):
+            ChaosMonkey.parse("reach=timeout,reach=nodes@1")
+
+
+class TestContainment:
+    """The acceptance matrix: every fault class at every site must be
+    contained -- ``rfn_verify`` returns a structured verdict, never
+    raises, and never flips a FALSE property to VERIFIED."""
+
+    @pytest.mark.parametrize("fault", FAULTS)
+    @pytest.mark.parametrize("site", SITES)
+    def test_fault_matrix_on_false_property(self, site, fault):
+        circuit, prop = buggy_counter()
+        config = RfnConfig(chaos=ChaosMonkey(plan={site: fault}))
+        result = rfn_verify(circuit, prop, config)
+        # Soundness: injected faults may cost the verdict (RESOURCE_OUT)
+        # but can never manufacture a VERIFIED one for a false property.
+        assert result.status in (
+            RfnStatus.FALSIFIED,
+            RfnStatus.RESOURCE_OUT,
+        )
+        if result.status is RfnStatus.FALSIFIED:
+            assert result.trace is not None
+
+    @pytest.mark.parametrize("fault", FAULTS)
+    @pytest.mark.parametrize("site", SITES)
+    def test_fault_matrix_on_true_property(self, site, fault):
+        circuit, prop = toggle_design()
+        config = RfnConfig(chaos=ChaosMonkey(plan={site: fault}))
+        result = rfn_verify(circuit, prop, config)
+        # Dual soundness: a fault can never falsify a true property,
+        # because a FALSIFIED verdict needs a concrete replayable trace.
+        assert result.status in (
+            RfnStatus.VERIFIED,
+            RfnStatus.RESOURCE_OUT,
+        )
+
+    def test_single_injection_survived_by_retry(self):
+        circuit, prop = buggy_counter()
+        reference = rfn_verify(*buggy_counter())
+        chaos = ChaosMonkey(plan={"reach": {0: "timeout"}})
+        result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
+        assert result.status is reference.status is RfnStatus.FALSIFIED
+        assert result.trace.length == reference.trace.length
+        assert any(a.injected for a in result.aborts)
+
+    def test_persistent_reach_fault_uses_bmc_fallback(self):
+        circuit, prop = buggy_counter()
+        chaos = ChaosMonkey(plan={"reach": "timeout"})
+        result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
+        assert result.status is RfnStatus.FALSIFIED
+        assert any(
+            "abstract-bmc" in record.fallbacks
+            for record in result.iterations
+        )
+
+    def test_persistent_reach_fault_on_true_property(self):
+        # k-induction on the abstract model closes the proof even though
+        # BDD reachability is permanently broken.
+        circuit, prop = toggle_design()
+        chaos = ChaosMonkey(plan={"reach": "timeout"})
+        result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
+        assert result.status is RfnStatus.VERIFIED
+
+    def test_guided_fault_not_fatal(self):
+        # A single guided-search fault only delays falsification by one
+        # iteration; refinement proceeds and the next attempt lands.
+        circuit, prop = buggy_counter()
+        chaos = ChaosMonkey(plan={"guided": {0: "timeout"}})
+        result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
+        assert result.status is RfnStatus.FALSIFIED
+        assert any(
+            record.guided_method == "aborted"
+            for record in result.iterations
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_seeded_storm_never_raises(self, seed):
+        circuit, prop = chain_design(depth=4)
+        chaos = ChaosMonkey(seed=seed, rate=0.3, max_injections=16)
+        config = RfnConfig(chaos=chaos, max_iterations=32)
+        result = rfn_verify(circuit, prop, config)
+        assert result.status in (
+            RfnStatus.VERIFIED,        # the true reference verdict
+            RfnStatus.RESOURCE_OUT,    # or an honest give-up
+        )
+        # Every injection the monkey made is visible in the abort log.
+        injected = [a for a in result.aborts if a.injected]
+        assert len(injected) <= len(chaos.injections)

@@ -1,0 +1,216 @@
+"""Checkpoint/resume tests: serialization, resume validation, and the
+acceptance guarantee that an interrupted-then-resumed CEGAR run reaches
+the same verdict as an uninterrupted one."""
+
+import json
+
+import pytest
+
+from repro.core import RfnConfig, RfnStatus, rfn_verify
+from repro.runtime import Budget, RfnCheckpoint
+
+from tests.conftest import buggy_counter, chain_design, toggle_design
+
+
+def make_checkpoint(**overrides):
+    base = dict(
+        circuit_name="cnt",
+        property_name="p",
+        target={"wd": 1},
+        iteration=2,
+        kept_registers=["a", "b"],
+        var_order=["a", "b", "a'"],
+        budget_spent={"seconds": 1.5, "conflicts": 10, "decisions": 20},
+        iterations=[{"index": 1, "model_registers": 1,
+                     "model_inputs": 0, "model_gates": 2}],
+    )
+    base.update(overrides)
+    return RfnCheckpoint(**base)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        ckpt = make_checkpoint()
+        clone = RfnCheckpoint.from_json(ckpt.to_json())
+        assert clone == ckpt
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ckpt = make_checkpoint()
+        ckpt.save(path)
+        assert RfnCheckpoint.load(path) == ckpt
+
+    def test_save_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        make_checkpoint().save(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 1
+        assert payload["iteration"] == 2
+
+    def test_version_mismatch_rejected(self):
+        payload = make_checkpoint().to_json()
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            RfnCheckpoint.from_json(payload)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            RfnCheckpoint.load(str(path))
+
+    def test_describe(self):
+        text = make_checkpoint().describe()
+        assert "iteration 2" in text
+        assert "2 registers" in text
+
+
+class TestValidation:
+    def test_matching_design_accepted(self):
+        circuit, prop = buggy_counter()
+        ckpt = make_checkpoint(
+            circuit_name=circuit.name,
+            property_name=prop.name,
+            target=dict(prop.target),
+            kept_registers=sorted(circuit.registers)[:1],
+        )
+        ckpt.validate_against(circuit, prop)  # does not raise
+
+    def test_wrong_circuit_rejected(self):
+        circuit, prop = buggy_counter()
+        ckpt = make_checkpoint(circuit_name="other_design")
+        with pytest.raises(ValueError):
+            ckpt.validate_against(circuit, prop)
+
+    def test_wrong_property_rejected(self):
+        circuit, prop = buggy_counter()
+        ckpt = make_checkpoint(
+            circuit_name=circuit.name, property_name="different_prop"
+        )
+        with pytest.raises(ValueError):
+            ckpt.validate_against(circuit, prop)
+
+    def test_unknown_registers_rejected(self):
+        circuit, prop = buggy_counter()
+        ckpt = make_checkpoint(
+            circuit_name=circuit.name,
+            property_name=prop.name,
+            kept_registers=["no_such_register"],
+        )
+        with pytest.raises(ValueError):
+            ckpt.validate_against(circuit, prop)
+
+
+#: ``(builder, expected verdict)`` -- all need more than one CEGAR
+#: iteration, so cutting the first run at one iteration really
+#: interrupts them mid-refinement
+SEED_DESIGNS = [
+    (toggle_design, RfnStatus.VERIFIED),
+    (lambda: chain_design(5), RfnStatus.VERIFIED),
+    (buggy_counter, RfnStatus.FALSIFIED),
+]
+
+
+class TestResume:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        SEED_DESIGNS,
+        ids=["toggle", "chain5", "buggy_counter"],
+    )
+    def test_interrupted_resume_matches_uninterrupted(
+        self, tmp_path, builder, expected
+    ):
+        reference = rfn_verify(*builder())
+        assert reference.status is expected
+
+        path = str(tmp_path / "ck.json")
+        first = rfn_verify(
+            *builder(),
+            RfnConfig(max_iterations=1, checkpoint_path=path),
+        )
+        assert first.status is RfnStatus.RESOURCE_OUT
+
+        ckpt = RfnCheckpoint.load(path)
+        assert ckpt.iteration == 1
+        circuit, prop = builder()
+        resumed = rfn_verify(
+            circuit,
+            prop,
+            RfnConfig(checkpoint_path=path),
+            resume=ckpt,
+        )
+        assert resumed.status is reference.status
+        assert resumed.resumed_iterations == 1
+        # The CEGAR trajectory is deterministic, so the resumed run
+        # replays into exactly the uninterrupted refinement sequence.
+        assert len(resumed.iterations) == len(reference.iterations)
+        assert sorted(resumed.kept_registers) == sorted(
+            reference.kept_registers
+        )
+
+    def test_resume_trace_replays(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        rfn_verify(
+            *buggy_counter(),
+            RfnConfig(max_iterations=2, checkpoint_path=path),
+        )
+        circuit, prop = buggy_counter()
+        resumed = rfn_verify(
+            circuit, prop, resume=RfnCheckpoint.load(path)
+        )
+        assert resumed.status is RfnStatus.FALSIFIED
+
+        from repro.sim import Simulator
+
+        frames = Simulator(circuit).run(
+            resumed.trace.inputs, state=resumed.trace.states[0]
+        )
+        wd = prop.signals()[0]
+        assert any(frame[wd] == 1 for frame in frames)
+
+    def test_final_checkpoint_records_verdict(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        result = rfn_verify(
+            *buggy_counter(), RfnConfig(checkpoint_path=path)
+        )
+        assert result.status is RfnStatus.FALSIFIED
+        assert result.checkpoint_path == path
+        assert RfnCheckpoint.load(path).status == "falsified"
+
+    def test_budget_spent_accumulates_across_resume(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        rfn_verify(
+            *buggy_counter(),
+            RfnConfig(
+                max_iterations=2,
+                checkpoint_path=path,
+                budget=Budget(max_seconds=60.0),
+            ),
+        )
+        first_spent = RfnCheckpoint.load(path).budget_spent
+        assert first_spent["conflicts"] >= 0
+
+        resumed = rfn_verify(
+            *buggy_counter(),
+            RfnConfig(
+                checkpoint_path=path, budget=Budget(max_seconds=60.0)
+            ),
+            resume=RfnCheckpoint.load(path),
+        )
+        assert resumed.status is RfnStatus.FALSIFIED
+        final_spent = RfnCheckpoint.load(path).budget_spent
+        assert final_spent["seconds"] >= first_spent["seconds"]
+        assert final_spent["conflicts"] >= first_spent["conflicts"]
+
+    def test_resume_against_wrong_design_is_refused(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        rfn_verify(
+            *buggy_counter(),
+            RfnConfig(max_iterations=1, checkpoint_path=path),
+        )
+        circuit, prop = toggle_design()
+        with pytest.raises(ValueError):
+            rfn_verify(
+                circuit, prop, resume=RfnCheckpoint.load(path)
+            )
