@@ -17,12 +17,13 @@ and clause order are byte-identical to a cold gate-by-gate encoding.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.kernel.perf import PERF
 from repro.kernel.scache import frame_template
 from repro.netlist.circuit import Circuit
 from repro.sat.cnf import CNF
+from repro.sat.solver import SatResult, Solver
 
 
 class Unroller:
@@ -58,17 +59,10 @@ class Unroller:
         self.cycles = cycles
         self.cnf = CNF()
         self._vars: List[Dict[str, int]] = []
-        template = frame_template(circuit)
+        self._template = frame_template(circuit)
         with PERF.timed("kernel.unroll"):
             for frame in range(cycles):
-                frame_vars = template.instantiate(self.cnf, frame)
-                self._vars.append(frame_vars)
-                if frame > 0:
-                    previous = self._vars[frame - 1]
-                    for name, reg in circuit.registers.items():
-                        self.cnf.add_equiv(
-                            frame_vars[name], previous[reg.data]
-                        )
+                self._append_frame(frame)
         if initial_state is not None:
             for name, value in initial_state.items():
                 if not circuit.is_register_output(name):
@@ -84,6 +78,30 @@ class Unroller:
                     )
 
     # ------------------------------------------------------------------
+
+    def _append_frame(self, frame: int) -> None:
+        frame_vars = self._template.instantiate(self.cnf, frame)
+        self._vars.append(frame_vars)
+        if frame > 0:
+            previous = self._vars[frame - 1]
+            for name, reg in self.circuit.registers.items():
+                self.cnf.add_equiv(frame_vars[name], previous[reg.data])
+
+    def extend_to(self, cycles: int) -> int:
+        """Grow the unrolling to ``cycles`` time frames, appending only
+        the missing frames' clauses (the initial-state constraint on
+        frame 0 is untouched).  Returns the number of frames appended;
+        shrinking is not supported (a request below the current depth is
+        a no-op)."""
+        if cycles <= self.cycles:
+            return 0
+        appended = cycles - self.cycles
+        with PERF.timed("kernel.unroll"):
+            for frame in range(self.cycles, cycles):
+                self._append_frame(frame)
+        self.cycles = cycles
+        PERF.bump("unroll.frames_appended", appended)
+        return appended
 
     def lit(self, signal: str, cycle: int, value: int = 1) -> int:
         """CNF literal asserting ``signal`` has ``value`` at ``cycle``."""
@@ -125,3 +143,82 @@ class Unroller:
             name: int(model.get(self._vars[cycle][name], False))
             for name in self.circuit.registers
         }
+
+
+class SolverSession:
+    """A persistent :class:`Unroller` + :class:`Solver` pair.
+
+    This is the single-instance incremental formulation (see PAPERS.md,
+    Een-Mishchenko-Amla): one growing unrolling, one solver that absorbs
+    only the newly appended frames, queries expressed as assumptions so
+    nothing query-specific pollutes the clause database, and learned
+    clauses inherited by every later query.  Sessions are pooled across
+    BMC depths, ATPG targets and CEGAR iterations by
+    :func:`repro.kernel.scache.solver_session`.
+
+    Queries that genuinely need temporary *clauses* (the certifier's
+    BDD-invariant Tseitin encodings) wrap them in
+    ``solver.push()``/``solver.pop()`` activation groups.
+
+    Growing the unrolling beyond a query's depth is sound and complete
+    for that query: the transition function is total, so frames past the
+    queried prefix never constrain it.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        cycles: int = 1,
+        use_initial_state: bool = True,
+        initial_state: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.unroller = Unroller(
+            circuit,
+            cycles,
+            use_initial_state=use_initial_state,
+            initial_state=initial_state,
+        )
+        self.solver = Solver()
+        self.solver.attach(self.unroller.cnf)
+        self.solver.absorb()
+        self.queries = 0
+        #: caller scratch for monotone bookkeeping (the incremental BMC
+        #: induction loop records which frames already carry not-bad and
+        #: uniqueness constraints here)
+        self.meta: Dict[str, int] = {}
+        self._prefixes = 0
+
+    @property
+    def circuit(self) -> Circuit:
+        return self.unroller.circuit
+
+    @property
+    def cnf(self) -> CNF:
+        return self.unroller.cnf
+
+    @property
+    def cycles(self) -> int:
+        return self.unroller.cycles
+
+    def ensure_depth(self, cycles: int) -> None:
+        """Grow to at least ``cycles`` frames and sync the solver."""
+        self.unroller.extend_to(cycles)
+        self.solver.absorb()
+
+    def fresh_prefix(self, stem: str) -> str:
+        """A session-unique name prefix for auxiliary CNF variables
+        (push/pop queries re-encode under fresh names each time)."""
+        self._prefixes += 1
+        return f"{stem}#{self._prefixes}"
+
+    def solve(self, assumptions: Sequence[int] = (), **kwargs) -> SatResult:
+        """Solve under assumptions, accounting reuse to the kernel perf
+        counters: from the second query on, every problem clause already
+        in the solver is one the caller did not re-encode, and every
+        retained learned clause is inherited search effort."""
+        self.solver.absorb()
+        self.queries += 1
+        if self.queries > 1:
+            PERF.bump("sat.clauses_reused", self.solver.num_clauses)
+            PERF.bump("sat.learned_retained", self.solver.num_learned)
+        return self.solver.solve(assumptions=assumptions, **kwargs)

@@ -5,6 +5,14 @@ unsatisfiable / resources exceeded) by encoding the time-frame-expanded
 circuit into CNF and running the budgeted CDCL solver.  Sequential results
 are cross-checked against the levelized simulator before being returned,
 so an encoder bug can never masquerade as a verification result.
+
+By default both engines run *incrementally*: the unrolling and solver
+come from the :func:`repro.kernel.scache.solver_session` pool, target and
+constraint cubes are asserted through assumptions rather than permanent
+units, and learned clauses carry over between ATPG targets on the same
+circuit -- and across the BMC and CEGAR callers that share the session
+signature.  ``incremental=False`` restores the historical
+fresh-solver-per-call behavior.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.atpg.encode import Unroller
+from repro.kernel.scache import solver_session
 from repro.trace import Trace
 from repro.netlist.circuit import Circuit
 from repro.sat.solver import SatStatus, Solver
@@ -114,6 +123,7 @@ def sequential_atpg(
     budget: Optional[AtpgBudget] = None,
     skip_missing: bool = False,
     verify: bool = True,
+    incremental: bool = True,
 ) -> AtpgResult:
     """Search for a ``cycles``-cycle trace satisfying per-cycle cubes.
 
@@ -123,12 +133,23 @@ def sequential_atpg(
     used when replaying an abstract-model trace on a differently-sized
     subcircuit.
     """
-    unroller = Unroller(
-        circuit,
-        cycles,
-        use_initial_state=use_initial_state,
-        initial_state=initial_state,
-    )
+    assumptions: List[int] = []
+    if incremental:
+        session = solver_session(
+            circuit,
+            cycles,
+            use_initial_state=use_initial_state,
+            initial_state=initial_state,
+        )
+        unroller = session.unroller
+    else:
+        session = None
+        unroller = Unroller(
+            circuit,
+            cycles,
+            use_initial_state=use_initial_state,
+            initial_state=initial_state,
+        )
     cube_map = _normalize_cubes(cubes, cycles)
     for cycle, cube in cube_map.items():
         for name, value in cube.items():
@@ -139,10 +160,16 @@ def sequential_atpg(
                     f"cube signal {name!r} not in circuit "
                     f"{circuit.name!r}"
                 )
-            unroller.cnf.add_unit(unroller.lit(name, cycle, value))
-    solver = Solver(unroller.cnf)
+            lit = unroller.lit(name, cycle, value)
+            if session is not None:
+                assumptions.append(lit)
+            else:
+                unroller.cnf.add_unit(lit)
     budget = budget or AtpgBudget()
-    result = solver.solve(**budget.solve_kwargs())
+    if session is not None:
+        result = session.solve(assumptions, **budget.solve_kwargs())
+    else:
+        result = Solver(unroller.cnf).solve(**budget.solve_kwargs())
     if result.status is SatStatus.UNSAT:
         return AtpgResult(
             AtpgOutcome.UNSATISFIABLE,
@@ -177,6 +204,7 @@ def combinational_atpg(
     constraints: Iterable[Mapping[str, int]] = (),
     *,
     budget: Optional[AtpgBudget] = None,
+    incremental: bool = True,
 ) -> AtpgResult:
     """One-time-frame ATPG with a free state: justify ``target`` plus all
     ``constraints`` cubes over a single combinational frame.
@@ -187,13 +215,22 @@ def combinational_atpg(
     hybrid engine uses this to extend a min-cut cube to a no-cut cube
     (Section 2.2).
     """
-    unroller = Unroller(circuit, 1, use_initial_state=False)
-    for cube in list(constraints) + [dict(target)]:
-        for name, value in cube.items():
-            unroller.cnf.add_unit(unroller.lit(name, 0, value))
-    solver = Solver(unroller.cnf)
     budget = budget or AtpgBudget()
-    result = solver.solve(**budget.solve_kwargs())
+    if incremental:
+        session = solver_session(circuit, 1, use_initial_state=False)
+        unroller = session.unroller
+        assumptions = [
+            unroller.lit(name, 0, value)
+            for cube in list(constraints) + [dict(target)]
+            for name, value in cube.items()
+        ]
+        result = session.solve(assumptions, **budget.solve_kwargs())
+    else:
+        unroller = Unroller(circuit, 1, use_initial_state=False)
+        for cube in list(constraints) + [dict(target)]:
+            for name, value in cube.items():
+                unroller.cnf.add_unit(unroller.lit(name, 0, value))
+        result = Solver(unroller.cnf).solve(**budget.solve_kwargs())
     if result.status is SatStatus.UNSAT:
         return AtpgResult(
             AtpgOutcome.UNSATISFIABLE,

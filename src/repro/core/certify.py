@@ -34,6 +34,7 @@ from repro.atpg.encode import Unroller
 from repro.bdd import Function
 from repro.core.property import UnreachabilityProperty
 from repro.kernel.bitsim import BitParallelSimulator, pack_lanes, pack_lanes_masked
+from repro.kernel.scache import solver_session
 from repro.trace import Trace
 from repro.mc.encode import SymbolicEncoding
 from repro.netlist.circuit import Circuit
@@ -142,22 +143,26 @@ def certify_invariant(
     invariant: Function,
     encoding: SymbolicEncoding,
     max_conflicts: Optional[int] = 1_000_000,
+    incremental: bool = True,
 ) -> Certificate:
     """SAT-check the three inductive-invariant obligations on ``model``.
 
     1. *Initiation*: no initial state falsifies the invariant.
     2. *Consecution*: no transition leaves the invariant.
     3. *Safety*: no invariant state is a bad state.
+
+    With ``incremental`` (default), obligations run on the pooled solver
+    sessions for ``model`` -- sharing learned clauses with the BMC and
+    ATPG queries CEGAR already issued on the same abstraction -- and the
+    per-obligation invariant encodings are scoped inside
+    ``push()``/``pop()`` activation groups so they vanish after the
+    query instead of polluting the shared clause database.
     """
     obligations: Dict[str, str] = {}
     status = CertificateStatus.CERTIFIED
 
-    def run_query(name: str, build) -> None:
+    def record(name: str, result) -> None:
         nonlocal status
-        solver, query_lits = build()
-        result = solver.solve(
-            assumptions=query_lits, max_conflicts=max_conflicts
-        )
         if result.status is SatStatus.UNSAT:
             obligations[name] = "unsat (holds)"
         elif result.status is SatStatus.SAT:
@@ -167,6 +172,64 @@ def certify_invariant(
             obligations[name] = "budget exceeded"
             if status is CertificateStatus.CERTIFIED:
                 status = CertificateStatus.INCOMPLETE
+
+    if incremental:
+        # One initial-state session (shared with BMC's bounded loop) and
+        # one free-start two-frame session (shared with combinational
+        # ATPG; frame 1 is simply unconstrained for 1-frame queries).
+        init_session = solver_session(model, 1, use_initial_state=True)
+        free_session = solver_session(model, 2, use_initial_state=False)
+
+        def run_scoped(name: str, session, build_lits) -> None:
+            session.solver.push()
+            try:
+                lits = build_lits(session)
+                result = session.solve(lits, max_conflicts=max_conflicts)
+            finally:
+                session.solver.pop()
+            record(name, result)
+
+        run_scoped(
+            "initiation",
+            init_session,
+            lambda s: [
+                -_invariant_clauses(
+                    invariant, encoding, s.unroller, 0,
+                    s.fresh_prefix("inv0"),
+                )
+            ],
+        )
+
+        def consecution_lits(s):
+            inv0 = _invariant_clauses(
+                invariant, encoding, s.unroller, 0, s.fresh_prefix("inv0")
+            )
+            inv1 = _invariant_clauses(
+                invariant, encoding, s.unroller, 1, s.fresh_prefix("inv1")
+            )
+            return [inv0, -inv1]
+
+        run_scoped("consecution", free_session, consecution_lits)
+
+        def safety_lits(s):
+            inv0 = _invariant_clauses(
+                invariant, encoding, s.unroller, 0, s.fresh_prefix("inv0")
+            )
+            bad = [
+                s.unroller.lit(name, 0, value)
+                for name, value in prop.target.items()
+            ]
+            return [inv0] + bad
+
+        run_scoped("safety", free_session, safety_lits)
+        return Certificate(status=status, obligations=obligations)
+
+    def run_query(name: str, build) -> None:
+        solver, query_lits = build()
+        result = solver.solve(
+            assumptions=query_lits, max_conflicts=max_conflicts
+        )
+        record(name, result)
 
     # 1. Initiation: init & ~Inv(0) unsat.
     def build_initiation():

@@ -131,6 +131,7 @@ def trace_satisfiable_on(
     model: Circuit,
     trace: Trace,
     budget: Optional[AtpgBudget] = None,
+    incremental: bool = True,
 ) -> AtpgOutcome:
     """Is the error trace (as per-cycle constraint cubes) satisfiable on a
     candidate abstract model?  Three-way ATPG answer."""
@@ -148,6 +149,7 @@ def trace_satisfiable_on(
         cubes,
         budget=budget,
         skip_missing=True,
+        incremental=incremental,
     )
     return result.outcome
 
@@ -157,8 +159,14 @@ def minimize_candidates(
     trace: Trace,
     candidates: Sequence[str],
     budget: Optional[AtpgBudget] = None,
+    incremental: bool = True,
 ) -> RefinementResult:
-    """Phase 2: the greedy add-until-unsatisfiable / try-remove loop."""
+    """Phase 2: the greedy add-until-unsatisfiable / try-remove loop.
+
+    Each candidate model is structurally fingerprinted, so with
+    ``incremental`` the repeated trace-satisfiability probes on the same
+    register set (add pass vs. removal pass, and across CEGAR
+    iterations) reuse one pooled solver per model."""
     stats = RefinementStats(candidates=len(candidates), minimized=True)
     added: List[str] = []
     unsatisfiable = False
@@ -169,7 +177,7 @@ def minimize_candidates(
         added.append(register)
         model = abstraction.with_registers(added)
         stats.atpg_calls += 1
-        outcome = trace_satisfiable_on(model, trace, budget)
+        outcome = trace_satisfiable_on(model, trace, budget, incremental)
         if outcome is AtpgOutcome.UNSATISFIABLE:
             unsatisfiable = True
             break
@@ -188,7 +196,7 @@ def minimize_candidates(
         tentative = [r for r in kept if r != register]
         model = abstraction.with_registers(tentative)
         stats.atpg_calls += 1
-        outcome = trace_satisfiable_on(model, trace, budget)
+        outcome = trace_satisfiable_on(model, trace, budget, incremental)
         if outcome is AtpgOutcome.UNSATISFIABLE:
             kept = tentative  # still invalid without it: drop for good
     stats.selected = len(kept)
@@ -201,6 +209,7 @@ def refine_from_trace(
     budget: Optional[AtpgBudget] = None,
     minimize: bool = True,
     fallback_count: int = 8,
+    incremental: bool = True,
 ) -> RefinementResult:
     """The full Step 4: phase-1 candidates, then phase-2 minimization."""
     phase1 = crucial_register_candidates(
@@ -215,7 +224,8 @@ def refine_from_trace(
         phase1.stats.selected = len(phase1.registers)
         return phase1
     result = minimize_candidates(
-        abstraction, trace, phase1.registers, budget=budget
+        abstraction, trace, phase1.registers, budget=budget,
+        incremental=incremental,
     )
     result.stats.conflicts_found = phase1.stats.conflicts_found
     result.stats.candidates = phase1.stats.candidates

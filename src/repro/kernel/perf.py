@@ -33,6 +33,15 @@ class PerfCounters:
         self.cache_misses: Dict[str, int] = {}
         self.phase_seconds: Dict[str, float] = {}
         self.phase_calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    # -- generic named counters ----------------------------------------
+
+    def bump(self, name: str, count: int = 1) -> None:
+        """Accumulate a named event counter (incremental-SAT accounting:
+        ``sat.clauses_reused``, ``sat.learned_retained``,
+        ``unroll.frames_appended``, ...)."""
+        self.counters[name] = self.counters.get(name, 0) + count
 
     # -- cache accounting ----------------------------------------------
 
@@ -95,6 +104,7 @@ class PerfCounters:
             "patterns_simulated": self.patterns_simulated,
             "sim_seconds": round(self.sim_seconds, 6),
             "pattern_gates_per_second": round(self.pattern_gates_per_second),
+            "counters": dict(sorted(self.counters.items())),
             "caches": caches,
             "phases": {
                 name: {
@@ -113,6 +123,10 @@ class PerfCounters:
             f"in {snap['sim_seconds']}s "
             f"({snap['pattern_gates_per_second']:,} pattern-gates/s)"
         )
+        if snap["counters"]:
+            lines.append("  counters:")
+            for name, value in snap["counters"].items():
+                lines.append(f"    {name}: {value}")
         if snap["caches"]:
             lines.append("  caches:")
             for name, info in snap["caches"].items():

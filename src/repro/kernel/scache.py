@@ -225,6 +225,65 @@ def frame_template(circuit: Circuit) -> FrameTemplate:
 
 
 # ----------------------------------------------------------------------
+# Incremental solver sessions
+# ----------------------------------------------------------------------
+
+# Pool of persistent Unroller+Solver pairs keyed by abstraction
+# signature: the structural fingerprint plus the encoding options that
+# become permanent clauses (initial-state handling) plus a caller tag
+# for sessions that assert extra permanent constraints (the BMC
+# induction loop).  Pool hits hand the caller a solver whose clause
+# database -- problem clauses *and* learned clauses -- survives from
+# earlier BMC depths, ATPG targets and CEGAR iterations.  Generation
+# invalidation rides on the fingerprint: a mutated circuit fingerprints
+# differently, so its stale sessions simply age out of the LRU.
+_SESSIONS: "OrderedDict[Tuple, object]" = OrderedDict()
+_SESSION_LRU_SIZE = 16
+
+
+def solver_session(
+    circuit: Circuit,
+    cycles: int = 1,
+    use_initial_state: bool = True,
+    initial_state=None,
+    tag: Tuple = (),
+):
+    """The pooled incremental solver session for ``circuit``.
+
+    Callers must express query-specific constraints as assumptions (or
+    push/pop groups), never as permanent units: the session outlives the
+    query and is shared by every engine asking for the same signature.
+    """
+    # Imported lazily: atpg.encode imports this module for its frame
+    # templates, so the dependency cannot be top-level both ways.
+    from repro.atpg.encode import SolverSession
+
+    init_key = (
+        None
+        if initial_state is None
+        else tuple(sorted(initial_state.items()))
+    )
+    key = (fingerprint(circuit), use_initial_state, init_key, tag)
+    session = _SESSIONS.get(key)
+    if session is not None:
+        _SESSIONS.move_to_end(key)
+        PERF.hit("solver_pool")
+        session.ensure_depth(cycles)
+        return session
+    PERF.miss("solver_pool")
+    session = SolverSession(
+        circuit,
+        cycles,
+        use_initial_state=use_initial_state,
+        initial_state=initial_state,
+    )
+    _SESSIONS[key] = session
+    while len(_SESSIONS) > _SESSION_LRU_SIZE:
+        _SESSIONS.popitem(last=False)
+    return session
+
+
+# ----------------------------------------------------------------------
 # Static BDD variable orders
 # ----------------------------------------------------------------------
 
@@ -234,6 +293,7 @@ def clear_caches() -> None:
     query to take the cold path)."""
     _ENTRIES.clear()
     _TEMPLATES_BY_FP.clear()
+    _SESSIONS.clear()
 
 
 def static_order(

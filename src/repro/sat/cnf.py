@@ -135,6 +135,18 @@ class CNF:
     def num_clauses(self) -> int:
         return len(self.clauses)
 
+    def clauses_since(self, start: int) -> List[List[int]]:
+        """The clauses appended after watermark ``start`` (a previous
+        ``num_clauses`` reading).  This is the sync contract incremental
+        solving relies on: clauses are append-only, so an attached
+        :class:`~repro.sat.solver.Solver` can absorb exactly the suffix
+        it has not seen."""
+        if not 0 <= start <= len(self.clauses):
+            raise ValueError(
+                f"clause watermark {start} outside 0..{len(self.clauses)}"
+            )
+        return self.clauses[start:]
+
     # -- DIMACS ----------------------------------------------------------
 
     def to_dimacs(self) -> str:

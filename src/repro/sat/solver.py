@@ -8,7 +8,25 @@ The solver is *budgeted*: ``solve`` takes optional conflict and decision
 limits and reports :data:`SatStatus.UNKNOWN` when they are exceeded, which
 is how the ATPG layer reproduces the paper's "some resource limits are
 exceeded" outcome.  It is also *incremental*: clauses may be added between
-``solve`` calls and each call may carry assumption literals.
+``solve`` calls, each call may carry assumption literals, and learned
+clauses survive across calls, so a sequence of related queries (BMC
+depths, CEGAR refinement probes) keeps paying into one clause database
+instead of restarting from zero (the single-instance formulation of
+Een-Mishchenko-Amla).
+
+Two mechanisms make single-instance reuse practical:
+
+- :meth:`Solver.attach`/:meth:`Solver.absorb` bind the solver to a
+  growing :class:`~repro.sat.cnf.CNF` and feed it only the clauses added
+  since the last sync -- the unroller appends one time frame, the solver
+  absorbs one frame;
+- :meth:`Solver.push`/:meth:`Solver.pop` open and retract activation-
+  literal clause groups: clauses added inside a group are extended with
+  the negated activation literal, every ``solve`` assumes the open
+  groups' literals, and ``pop`` retracts the group by unit-asserting the
+  negation and garbage-collecting the group's clauses (learned clauses
+  that depend on the group carry the same literal and are collected with
+  it; independent learned clauses survive).
 """
 
 from __future__ import annotations
@@ -87,11 +105,12 @@ class Solver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self._groups: List[int] = []  # open activation literals, LIFO
+        self._attached: Optional[CNF] = None
+        self._absorbed = 0  # clauses of the attached CNF already added
         if cnf is not None:
-            while self._nvars < cnf.num_vars:
-                self.new_var()
-            for clause in cnf.clauses:
-                self.add_clause(clause)
+            self.attach(cnf)
+            self.absorb()
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -111,13 +130,105 @@ class Solver:
         while self._nvars < var:
             self.new_var()
 
+    # ------------------------------------------------------------------
+    # Incremental growth: attached CNF sync and activation-literal groups
+    # ------------------------------------------------------------------
+
+    def attach(self, cnf: CNF) -> None:
+        """Bind this solver to a growing CNF: :meth:`absorb` then feeds
+        only the clauses appended since the previous sync.  Variable
+        numbering is shared -- :meth:`push` allocates its activation
+        variables in the attached CNF so the two never diverge."""
+        if self._attached is not None and self._attached is not cnf:
+            raise RuntimeError("solver is already attached to another CNF")
+        self._attached = cnf
+
+    def absorb(self) -> int:
+        """Add every clause of the attached CNF not yet in the solver;
+        returns how many were absorbed.  Clauses land in the innermost
+        open activation group, if any."""
+        cnf = self._attached
+        if cnf is None:
+            raise RuntimeError("no CNF attached (call attach first)")
+        start = self._absorbed
+        self._absorbed = len(cnf.clauses)
+        while self._nvars < cnf.num_vars:
+            self.new_var()
+        for clause in cnf.clauses_since(start):
+            if self._unsat:
+                break
+            self.add_clause(clause)
+        return self._absorbed - start
+
+    def push(self) -> int:
+        """Open a retractable clause group; returns its activation
+        literal.  Clauses added (or absorbed) while the group is open get
+        the negated activation literal appended and are enforced by every
+        ``solve`` through an implicit assumption; :meth:`pop` retracts
+        them.  Groups nest LIFO."""
+        if self._trail_lim:
+            raise RuntimeError("push only permitted at decision level 0")
+        if self._attached is not None:
+            act = self._attached.new_var()
+            self._ensure_var(act)
+        else:
+            act = self.new_var()
+        self._groups.append(act)
+        return act
+
+    def pop(self) -> None:
+        """Retract the innermost clause group: unit-assert the negated
+        activation literal and garbage-collect every clause (problem and
+        learned) that carries it."""
+        if not self._groups:
+            raise RuntimeError("pop without matching push")
+        if self._trail_lim:
+            raise RuntimeError("pop only permitted at decision level 0")
+        act = self._groups.pop()
+        marker = -act
+        survivors: List[_Clause] = []
+        for clause in self._clauses:
+            if marker in clause.lits:
+                self._detach(clause)
+            else:
+                survivors.append(clause)
+        self._clauses = survivors
+        learned_survivors: List[_Clause] = []
+        for clause in self._learned:
+            if marker in clause.lits:
+                self._detach(clause)
+            else:
+                learned_survivors.append(clause)
+        self._learned = learned_survivors
+        # Deactivate for good: any stray dependent clause (e.g. a unit
+        # the group propagated at level 0) stays satisfied forever.
+        if not self._unsat and self._lit_value(marker) != 1:
+            if not self.add_clause([marker]):
+                self._unsat = True
+
+    @property
+    def open_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def num_learned(self) -> int:
+        return len(self._learned)
+
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a problem clause at decision level 0.
 
+        While an activation group is open the clause is extended with the
+        negated activation literal, making it retractable via :meth:`pop`.
         Returns ``False`` if the formula became trivially unsatisfiable.
         """
         if self._trail_lim:
             raise RuntimeError("add_clause only permitted at decision level 0")
+        if self._groups:
+            literals = list(literals) + [-self._groups[-1]]
         seen = set()
         lits: List[int] = []
         for lit in literals:
@@ -395,6 +506,10 @@ class Solver:
         raises a structured :class:`repro.runtime.EngineAbort` -- the
         exception-based path the portfolio supervisor consumes.
         """
+        if self._attached is not None and (
+            self._absorbed < len(self._attached.clauses)
+        ):
+            self.absorb()  # pick up clauses appended since the last call
         stats_base = (self.conflicts, self.decisions, self.propagations)
         if budget is not None:
             budget_deadline = budget.deadline
@@ -442,7 +557,10 @@ class Solver:
             self._unsat = True
             return result(SatStatus.UNSAT)
 
-        assumption_list = list(assumptions)
+        # Open activation groups are enforced through implicit leading
+        # assumptions, so group clauses act like ordinary clauses until
+        # the group is popped.
+        assumption_list = list(self._groups) + list(assumptions)
         for lit in assumption_list:
             self._ensure_var(abs(lit))
 

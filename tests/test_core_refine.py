@@ -155,7 +155,9 @@ class TestPhase2Minimization:
         monkeypatch.setattr(
             refine_mod,
             "trace_satisfiable_on",
-            lambda model, trace, budget=None: AtpgOutcome.ABORTED,
+            lambda model, trace, budget=None, incremental=True: (
+                AtpgOutcome.ABORTED
+            ),
         )
         result = refine_mod.minimize_candidates(
             abstraction, trace, ["r1", "r4"]
