@@ -1,0 +1,133 @@
+"""Benchmark: racing portfolio vs sequential strategy burn-down.
+
+Two TRUE-property designs where the portfolio's strategies have wildly
+asymmetric costs, so the sequential reference mode pays for the losers
+while the race does not:
+
+- **lfsr16**: a 16-bit maximal-length LFSR whose all-zero state is
+  unreachable.  BDD forward reachability needs 2^16 - 1 single-state
+  image steps (hopeless inside a slice), while k-induction discharges
+  the property at depth 2 with simple-path constraints -- instantly.
+- **satcnt16**: a 16-bit saturating counter; same shape, the BDD
+  engine grinds through ~65k reachable states while induction is
+  immediate.
+
+The sequential mode burns the strategy slices in order
+(bdd -> rfn -> kinduction -> bmc), so it wastes the full BDD slice
+before the instant k-induction win.  The race overlaps all slices and
+cancels the losers the moment k-induction answers.  Even on a single
+CPU the win is real: the sequential loser slices are wall-clock waits
+the race never serializes.
+
+Emits ``benchmarks/out/parallel_race.json`` and is the gate behind
+CI's ``parallel-smoke`` job: the race must beat sequential by >= 1.5x
+with 2 workers and with 4 workers on both designs, with identical
+verdicts across all modes.
+
+Runs standalone (``python benchmarks/bench_parallel.py``) or under
+pytest (``pytest benchmarks/bench_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.designs.counters import lfsr, saturating_counter
+from repro.kernel.scache import clear_caches
+from repro.parallel import STRATEGY_ORDER, race
+from repro.runtime.budget import Budget
+
+from reporting import emit_json, emit_table
+
+JOBS = (1, 2, 4)
+#: 1s slice per strategy: enough for the instant engines, never enough
+#: for the BDD grind on these designs (even on much faster machines).
+BUDGET_SECONDS = 4.0
+MIN_SPEEDUP = 1.5
+
+
+def _workloads():
+    return [
+        ("lfsr16",) + lfsr(16),
+        ("satcnt16",) + saturating_counter(width=16),
+    ]
+
+
+def _timed_race(circuit, prop, jobs: int):
+    clear_caches()
+    budget = Budget(max_seconds=BUDGET_SECONDS, name=f"bench-j{jobs}")
+    start = time.perf_counter()
+    result = race(
+        circuit,
+        prop,
+        strategies=STRATEGY_ORDER,
+        jobs=jobs,
+        budget=budget,
+    )
+    return result, time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    runs = []
+    for name, circuit, prop in _workloads():
+        baseline_s = None
+        for jobs in JOBS:
+            result, elapsed = _timed_race(circuit, prop, jobs)
+            if jobs == 1:
+                baseline_s = elapsed
+            speedup = baseline_s / elapsed if elapsed else 0.0
+            runs.append({
+                "design": name,
+                "jobs": jobs,
+                "verdict": result.verdict,
+                "winner": result.winner,
+                "seconds": round(elapsed, 4),
+                "sequential_seconds": round(baseline_s, 4),
+                "speedup": round(speedup, 2),
+            })
+    payload = {
+        "benchmark": "parallel_race",
+        "budget_seconds": BUDGET_SECONDS,
+        "min_speedup": MIN_SPEEDUP,
+        "runs": runs,
+    }
+    emit_json("parallel_race", payload)
+    emit_table(
+        "parallel_race",
+        "Racing portfolio vs sequential slice burn-down",
+        ["design", "jobs", "verdict", "winner", "seconds", "speedup"],
+        [
+            [r["design"], r["jobs"], r["verdict"], r["winner"],
+             r["seconds"], f'{r["speedup"]}x']
+            for r in runs
+        ],
+    )
+    return payload
+
+
+def test_parallel_race_speedup():
+    """CI gate: every parallel mode verifies, agrees with sequential,
+    and beats it by >= 1.5x on both designs."""
+    payload = run_benchmark()
+    by_design = {}
+    for run in payload["runs"]:
+        by_design.setdefault(run["design"], {})[run["jobs"]] = run
+    for design, runs in by_design.items():
+        verdicts = {r["verdict"] for r in runs.values()}
+        assert verdicts == {"verified"}, (
+            f"{design}: verdicts diverged across modes: {verdicts}"
+        )
+        for jobs in (2, 4):
+            run = runs[jobs]
+            assert run["speedup"] >= MIN_SPEEDUP, (
+                f'{design} jobs={jobs}: speedup {run["speedup"]}x '
+                f"below the {MIN_SPEEDUP}x gate "
+                f'({run["seconds"]}s vs sequential '
+                f'{run["sequential_seconds"]}s)'
+            )
+
+
+if __name__ == "__main__":
+    run_benchmark()
+    sys.exit(0)

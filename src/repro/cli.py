@@ -7,18 +7,22 @@ Commands
 ``coverage``   unreachable-coverage-state analysis (RFN or BFS method)
 ``simulate``   random simulation with a rendered waveform
 ``fuzz``       differential fuzzing of the verification engines
+``batch``      verify many corpus netlists, sharded across processes
 
 Netlists use the text format of :mod:`repro.netlist.textio` (see
 ``examples/netlist_files.py``).  Exit codes for ``verify``: 0 = property
 holds, 1 = falsified, 2 = resource limit reached, 3 = usage error.
 For ``fuzz``: 0 = all engines agreed and every certificate held,
 1 = at least one finding (reproducers are shrunk into the corpus).
+For ``batch``: 0 = every instance verified, 1 = at least one falsified,
+2 = at least one unknown/error/skipped (and none falsified).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -141,12 +145,22 @@ def cmd_verify(args) -> int:
         for flag, value in (
             ("--resume", args.resume),
             ("--checkpoint", args.checkpoint),
-            ("--chaos", args.chaos),
         ):
             if value:
                 raise ValueError(
                     f"{flag} only applies to the rfn engine"
                 )
+    if args.engine not in ("rfn", "portfolio"):
+        for flag, value in (
+            ("--chaos", args.chaos),
+            ("--jobs", args.jobs),
+        ):
+            if value:
+                raise ValueError(
+                    f"{flag} only applies to the rfn and portfolio engines"
+                )
+    if args.strategies and args.engine != "portfolio":
+        raise ValueError("--strategies only applies to the portfolio engine")
     resume_ckpt = None
     if args.resume:
         resume_ckpt = RfnCheckpoint.load(args.resume)
@@ -208,6 +222,37 @@ def cmd_verify(args) -> int:
         status_code = {"true": 0, "false": 1, "resource_out": 2}[
             result.outcome.value
         ]
+    elif args.engine == "portfolio":
+        from repro.parallel import STRATEGY_ORDER, race
+
+        budget = (
+            Budget(max_seconds=args.timeout)
+            if args.timeout is not None
+            else None
+        )
+        chaos = ChaosMonkey.parse(args.chaos) if args.chaos else None
+        strategies = (
+            tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+            if args.strategies
+            else STRATEGY_ORDER
+        )
+        outcome = race(
+            circuit,
+            prop,
+            strategies=strategies,
+            jobs=max(1, args.jobs),
+            budget=budget,
+            chaos=chaos,
+            log=log,
+        )
+        print(f"portfolio: {outcome.verdict} "
+              f"(winner: {outcome.winner or 'none'}, jobs: {outcome.jobs}) "
+              f"in {outcome.seconds:.2f}s")
+        for envelope in outcome.envelopes:
+            print(f"  {envelope.strategy}: {envelope.verdict} "
+                  f"({envelope.detail}) in {envelope.seconds:.2f}s")
+        trace = outcome.trace
+        status_code = {"verified": 0, "falsified": 1}.get(outcome.verdict, 2)
     else:
         budget = (
             Budget(max_seconds=args.timeout)
@@ -224,6 +269,7 @@ def cmd_verify(args) -> int:
             chaos=chaos,
             checkpoint_path=checkpoint_path,
             incremental=not args.no_incremental,
+            parallel=args.jobs,
         )
         _PARTIAL.update(
             budget=budget,
@@ -351,6 +397,7 @@ def cmd_fuzz(args) -> int:
         iters=args.iters,
         budget_seconds=args.budget,
         instance_seconds=args.instance_budget,
+        jobs=args.jobs,
         gen_config=gen_config,
         oracle_config=OracleConfig(),
         corpus_dir=args.corpus,
@@ -382,11 +429,118 @@ def cmd_fuzz(args) -> int:
         return 0
     print(f"{len(result.findings)} FINDING(S):")
     for finding in result.findings:
-        print(f"  seed {finding.seed}: "
-              f"{'; '.join(finding.report.disagreements + finding.report.failed_certificates + finding.report.errors)}")
+        report = finding.report_json()
+        reasons = (
+            report["disagreements"]
+            + report["failed_certificates"]
+            + report["errors"]
+        )
+        print(f"  seed {finding.seed}: {'; '.join(reasons)}")
         if finding.reproducer_path:
             print(f"    reproducer: {finding.reproducer_path}")
     return 1
+
+
+def cmd_batch(args) -> int:
+    from repro.fuzz.shrink import load_corpus, load_instance
+    from repro.parallel import STRATEGY_ORDER, race
+    from repro.parallel.shard import SKIPPED, ShardError, shard_map
+
+    items = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            items.extend(load_corpus(path))
+        else:
+            items.append((path, load_instance(path)))
+    if not items:
+        raise ValueError("no corpus instances found in the given paths")
+    strategies = (
+        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+        if args.strategies
+        else STRATEGY_ORDER
+    )
+    log = print if args.verbose else None
+
+    def one_instance(item):
+        path, instance = item
+        budget = (
+            Budget(
+                max_seconds=args.timeout,
+                name=f"batch/{os.path.basename(path)}",
+            )
+            if args.timeout is not None
+            else None
+        )
+        # Each shard runs the *sequential* race: the batch parallelism
+        # is across instances, not within one.
+        outcome = race(
+            instance.circuit,
+            instance.prop,
+            strategies=strategies,
+            jobs=1,
+            budget=budget,
+        )
+        record = outcome.to_json()
+        record["path"] = path
+        record["name"] = instance.name
+        return record
+
+    deadline = (
+        None if args.budget is None else time.monotonic() + args.budget
+    )
+    outcomes = shard_map(
+        one_instance, items, jobs=args.jobs, deadline=deadline, log=log
+    )
+
+    records = []
+    counts: Dict[str, int] = {}
+    for (path, instance), outcome in zip(items, outcomes):
+        if outcome is SKIPPED:
+            record = {
+                "path": path,
+                "name": instance.name,
+                "verdict": "skipped",
+                "winner": None,
+                "seconds": None,
+            }
+        elif isinstance(outcome, ShardError):
+            record = {
+                "path": path,
+                "name": instance.name,
+                "verdict": "error",
+                "winner": None,
+                "seconds": None,
+                "detail": str(outcome),
+            }
+        else:
+            record = outcome
+        records.append(record)
+        counts[record["verdict"]] = counts.get(record["verdict"], 0) + 1
+        winner = record.get("winner") or "-"
+        seconds = record.get("seconds")
+        timing = "     -" if seconds is None else f"{seconds:5.2f}s"
+        print(f"  {record['verdict']:<10} {winner:<10} {timing}  {path}")
+
+    summary = ", ".join(
+        f"{name}={count}" for name, count in sorted(counts.items())
+    )
+    print(f"batch: {len(records)} instance(s); {summary}")
+    if args.report:
+        payload = {
+            "instances": records,
+            "verdict_counts": counts,
+            "jobs": args.jobs,
+            "strategies": list(strategies),
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report}")
+    if counts.get("falsified"):
+        return 1
+    if len(counts) == 1 and counts.get("verified"):
+        return 0
+    return 2
 
 
 # ----------------------------------------------------------------------
@@ -418,7 +572,18 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--target", help="target cube, e.g. 'bad=1,mode=0'")
     p_verify.add_argument("--name", default="property")
     p_verify.add_argument(
-        "--engine", choices=("rfn", "smc", "bmc"), default="rfn"
+        "--engine", choices=("rfn", "smc", "bmc", "portfolio"), default="rfn"
+    )
+    p_verify.add_argument(
+        "--jobs", type=int, default=0,
+        help="race engine strategies across this many worker processes "
+        "(rfn: races the abstract-model check when >= 2; portfolio: "
+        "races the whole obligation); 0/1 = sequential",
+    )
+    p_verify.add_argument(
+        "--strategies",
+        help="portfolio: comma-separated strategy subset, e.g. "
+        "'bdd,kinduction' (default: bdd,rfn,kinduction,bmc)",
     )
     p_verify.add_argument("--max-seconds", type=float, default=None)
     p_verify.add_argument("--max-nodes", type=int, default=2_000_000)
@@ -508,8 +673,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--max-gates", type=int, default=16)
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="skip delta-debugging of findings")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="shard instances across this many worker "
+                        "processes (results merge in seed order, so the "
+                        "report matches a sequential run)")
     p_fuzz.add_argument("--verbose", action="store_true")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="verify a batch of corpus netlists, sharded across processes",
+    )
+    p_batch.add_argument(
+        "paths", nargs="+",
+        help="*.net files with a '# !property' directive, or directories "
+        "of them (e.g. tests/corpus)",
+    )
+    p_batch.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (one instance each)")
+    p_batch.add_argument(
+        "--strategies",
+        help="comma-separated portfolio strategies per instance "
+        "(default: bdd,rfn,kinduction,bmc)",
+    )
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-instance budget in seconds")
+    p_batch.add_argument("--budget", type=float, default=None,
+                         help="whole-batch wall-clock budget; instances "
+                         "past it are reported as skipped")
+    p_batch.add_argument("--report", help="write a JSON batch report here")
+    p_batch.add_argument("--verbose", action="store_true")
+    p_batch.set_defaults(func=cmd_batch)
     return parser
 
 

@@ -111,6 +111,12 @@ class RfnConfig:
     #: hybrid engine's justification calls) on the pooled incremental
     #: solver sessions; the CLI's --no-incremental escape hatch clears it
     incremental: bool = True
+    #: >= 2 races Step 2 (bdd vs k-induction on the abstract model)
+    #: across that many portfolio workers (``repro verify --jobs N``);
+    #: 0/1 keeps the classic sequential supervised step.  Abstract error
+    #: traces from the race are canonicalized, so the CEGAR loop's
+    #: refinement decisions stay independent of which worker won.
+    parallel: int = 0
 
 
 @dataclass
@@ -216,6 +222,30 @@ class RFN:
         if self.config.log is not None:
             self.config.log(message)
 
+    def _race_abstract_check(self, model: Circuit):
+        """Step 2 in parallel mode: race BDD reachability against
+        k-induction on the abstract model.  Both are sound on abstract
+        models (TRUE there implies TRUE on the design; FALSE yields an
+        abstract error trace for Steps 3-4), so the first definite
+        verdict wins.  Worker aborts land in the supervisor's ledger
+        like any contained in-process failure."""
+        # Lazy import: repro.parallel's rfn strategy imports this module.
+        from repro.parallel.portfolio import race
+
+        config = self.config
+        outcome = race(
+            model,
+            self.prop,
+            strategies=("bdd", "kinduction"),
+            jobs=config.parallel,
+            budget=config.budget,
+            chaos=config.chaos,
+            log=config.log,
+            canonicalize=True,
+        )
+        self.supervisor.aborts.extend(outcome.aborts)
+        return outcome
+
     # ------------------------------------------------------------------
 
     def _spent(self, elapsed: float) -> Dict[str, float]:
@@ -320,244 +350,285 @@ class RFN:
             )
 
             # Step 2: prove or find an abstract error trace.
-            encoding = SymbolicEncoding(model, var_order=self._saved_order)
-            encoding.bdd.auto_reorder = config.auto_reorder
-            images = ImageComputer(encoding)
-            target = encoding.state_cube(dict(self.prop.target))
-            if (
-                config.approx_block_size is not None
-                and model.num_registers > config.approx_block_size
-            ):
-                from repro.mc.approx import ApproxOutcome, approximate_check
-
-                approx = approximate_check(
-                    encoding,
-                    target,
-                    block_size=config.approx_block_size,
-                    overlap=config.approx_overlap,
-                    limits=config.reach_limits,
-                )
-                if approx.outcome is ApproxOutcome.PROVED:
-                    record.reach_outcome = "approx_proved"
-                    record.seconds = time.monotonic() - iter_start
-                    self._log(
-                        f"[iter {index}] overlapping-partition traversal "
-                        f"proved the property ({len(approx.blocks)} blocks, "
-                        f"{approx.passes} passes)"
-                    )
-                    return finish(RfnStatus.VERIFIED)
-
-            def reach_step(attempt: int):
-                limits = config.reach_limits
-                if attempt > 0:
-                    scale = config.retry_scale ** attempt
-                    limits = replace(
-                        limits,
-                        max_iterations=(
-                            None
-                            if limits.max_iterations is None
-                            else int(limits.max_iterations * scale)
-                        ),
-                        max_nodes=(
-                            None
-                            if limits.max_nodes is None
-                            else int(limits.max_nodes * scale)
-                        ),
-                        max_seconds=(
-                            None
-                            if limits.max_seconds is None
-                            else limits.max_seconds * scale
-                        ),
-                    )
-                if budget is not None and limits.budget is None:
-                    limits = replace(limits, budget=budget)
-                reach = forward_reach(
-                    images,
-                    encoding.initial_states(),
-                    target=target,
-                    limits=limits,
-                    step_hook=lambda _i, _r: encoding.bdd.maybe_sift(),
-                )
-                if reach.outcome is ReachOutcome.RESOURCE_OUT:
-                    resource = reach.abort_resource or "nodes"
-                    abort_cls = ABORT_BY_RESOURCE.get(resource, EngineAbort)
-                    raise abort_cls(
-                        f"reachability out of {resource} after "
-                        f"{reach.iterations} image steps",
-                        engine="reach",
-                        resource=resource,
-                    )
-                return reach
-
-            def reach_fallback(_attempt: int):
-                # k-induction BMC on the abstract model.  Sound both ways:
-                # TRUE on an abstract model implies TRUE on the design,
-                # FALSE yields an abstract error trace for Steps 3-4.
-                result = bmc(
-                    model,
-                    self.prop,
-                    max_depth=config.fallback_bmc_depth,
-                    max_conflicts=config.atpg_budget.max_conflicts,
-                    induction=True,
-                    unique_states=True,
-                    budget=budget,
-                    incremental=config.incremental,
-                )
-                if result.outcome is BmcOutcome.UNKNOWN:
-                    raise DepthOut(
-                        f"abstract-model BMC inconclusive at depth "
-                        f"{config.fallback_bmc_depth}",
-                        engine="abstract-bmc",
-                    )
-                return result
-
-            step = supervisor.attempt(
-                "reach",
-                reach_step,
-                fallback=reach_fallback,
-                fallback_name="abstract-bmc",
-            )
-            record.bdd_nodes = encoding.bdd.total_nodes()
-            if not step.ok:
-                record.reach_outcome = "resource_out"
-                record.seconds = time.monotonic() - iter_start
-                return finish(
-                    RfnStatus.RESOURCE_OUT,
-                    detail=(
-                        "reachability resource limit on abstract model: "
-                        f"{step.abort.describe()}"
-                    ),
-                    failure=step.abort,
-                )
-
             abstract_trace: Optional[Trace] = None
-            reach = None
-            if step.fell_back:
-                record.fallbacks = "abstract-bmc"
-                bmc_result: BmcResult = step.value
-                if bmc_result.outcome is BmcOutcome.TRUE:
-                    record.reach_outcome = "bmc_induction_true"
+            encoding: Optional[SymbolicEncoding] = None
+            if config.parallel >= 2:
+                outcome = self._race_abstract_check(model)
+                record.reach_outcome = f"race_{outcome.verdict}"
+                if outcome.verified:
                     record.seconds = time.monotonic() - iter_start
                     self._log(
-                        f"[iter {index}] abstract-model k-induction "
-                        f"closed at depth {bmc_result.induction_depth}: "
+                        f"[iter {index}] portfolio race "
+                        f"({outcome.winner}) proved the abstract model: "
                         f"property VERIFIED"
                     )
                     verdict = finish(RfnStatus.VERIFIED)
                     verdict.abstract_model = model
                     return verdict
-                record.reach_outcome = "bmc_counterexample"
-                abstract_trace = bmc_result.trace
+                if not outcome.falsified:
+                    record.seconds = time.monotonic() - iter_start
+                    failure = (
+                        outcome.aborts[-1]
+                        if outcome.aborts
+                        else AbortInfo(
+                            engine="portfolio",
+                            resource="race",
+                            detail="no strategy reached a verdict",
+                        )
+                    )
+                    return finish(
+                        RfnStatus.RESOURCE_OUT,
+                        detail=(
+                            "abstract-model race inconclusive: "
+                            f"{failure.describe()}"
+                        ),
+                        failure=failure,
+                    )
+                abstract_trace = outcome.trace
                 self._log(
-                    f"[iter {index}] reachability degraded to abstract "
-                    f"BMC: counterexample at depth {bmc_result.depth}"
+                    f"[iter {index}] portfolio race ({outcome.winner}) "
+                    f"found an abstract error trace of length "
+                    f"{abstract_trace.length}"
                 )
             else:
-                reach = step.value
-                record.reach_outcome = reach.outcome.value
-                record.reach_iterations = reach.iterations
-                record.bdd_nodes = encoding.bdd.total_nodes()
-                if reach.outcome is ReachOutcome.FIXPOINT:
-                    record.seconds = time.monotonic() - iter_start
-                    self._log(
-                        f"[iter {index}] fixpoint: property VERIFIED"
+                encoding = SymbolicEncoding(model, var_order=self._saved_order)
+                encoding.bdd.auto_reorder = config.auto_reorder
+                images = ImageComputer(encoding)
+                target = encoding.state_cube(dict(self.prop.target))
+                if (
+                    config.approx_block_size is not None
+                    and model.num_registers > config.approx_block_size
+                ):
+                    from repro.mc.approx import ApproxOutcome, approximate_check
+
+                    approx = approximate_check(
+                        encoding,
+                        target,
+                        block_size=config.approx_block_size,
+                        overlap=config.approx_overlap,
+                        limits=config.reach_limits,
                     )
-                    verdict = finish(RfnStatus.VERIFIED)
-                    verdict.abstract_model = model
-                    verdict.invariant = reach.reached
-                    verdict.invariant_encoding = encoding
-                    return verdict
+                    if approx.outcome is ApproxOutcome.PROVED:
+                        record.reach_outcome = "approx_proved"
+                        record.seconds = time.monotonic() - iter_start
+                        self._log(
+                            f"[iter {index}] overlapping-partition traversal "
+                            f"proved the property ({len(approx.blocks)} blocks, "
+                            f"{approx.passes} passes)"
+                        )
+                        return finish(RfnStatus.VERIFIED)
 
-            if abstract_trace is None:
-
-                def hybrid_step(attempt: int):
-                    scale = config.retry_scale ** attempt
-                    atpg_budget = config.atpg_budget
+                def reach_step(attempt: int):
+                    limits = config.reach_limits
                     if attempt > 0:
-                        atpg_budget = replace(
-                            atpg_budget,
-                            max_conflicts=(
+                        scale = config.retry_scale ** attempt
+                        limits = replace(
+                            limits,
+                            max_iterations=(
                                 None
-                                if atpg_budget.max_conflicts is None
-                                else int(atpg_budget.max_conflicts * scale)
+                                if limits.max_iterations is None
+                                else int(limits.max_iterations * scale)
+                            ),
+                            max_nodes=(
+                                None
+                                if limits.max_nodes is None
+                                else int(limits.max_nodes * scale)
+                            ),
+                            max_seconds=(
+                                None
+                                if limits.max_seconds is None
+                                else limits.max_seconds * scale
                             ),
                         )
-                    hybrid = HybridTraceEngine(
-                        model,
-                        encoding,
+                    if budget is not None and limits.budget is None:
+                        limits = replace(limits, budget=budget)
+                    reach = forward_reach(
                         images,
-                        atpg_budget=atpg_budget,
-                        max_cube_tries=int(256 * scale),
-                        budget=budget,
-                        incremental=config.incremental,
+                        encoding.initial_states(),
+                        target=target,
+                        limits=limits,
+                        step_hook=lambda _i, _r: encoding.bdd.maybe_sift(),
                     )
-                    self._hybrid_stats = hybrid.stats
-                    try:
-                        return hybrid.build_trace(reach, target)
-                    except HybridEngineError as error:
-                        raise EngineAbort(
-                            str(error), engine="hybrid", resource="cubes"
-                        ) from error
+                    if reach.outcome is ReachOutcome.RESOURCE_OUT:
+                        resource = reach.abort_resource or "nodes"
+                        abort_cls = ABORT_BY_RESOURCE.get(resource, EngineAbort)
+                        raise abort_cls(
+                            f"reachability out of {resource} after "
+                            f"{reach.iterations} image steps",
+                            engine="reach",
+                            resource=resource,
+                        )
+                    return reach
 
-                def hybrid_fallback(_attempt: int):
-                    # Bounded BMC on the abstract model, depth-limited by
-                    # the ring that hit the target.
+                def reach_fallback(_attempt: int):
+                    # k-induction BMC on the abstract model.  Sound both ways:
+                    # TRUE on an abstract model implies TRUE on the design,
+                    # FALSE yields an abstract error trace for Steps 3-4.
                     result = bmc(
                         model,
                         self.prop,
-                        max_depth=reach.hit_ring,
+                        max_depth=config.fallback_bmc_depth,
                         max_conflicts=config.atpg_budget.max_conflicts,
-                        induction=False,
+                        induction=True,
+                        unique_states=True,
                         budget=budget,
                         incremental=config.incremental,
                     )
-                    if result.outcome is not BmcOutcome.FALSE:
+                    if result.outcome is BmcOutcome.UNKNOWN:
                         raise DepthOut(
-                            f"bounded abstract BMC found no trace within "
-                            f"the hit ring depth {reach.hit_ring}",
-                            engine="hybrid-bmc",
+                            f"abstract-model BMC inconclusive at depth "
+                            f"{config.fallback_bmc_depth}",
+                            engine="abstract-bmc",
                         )
-                    return result.trace
+                    return result
 
                 step = supervisor.attempt(
-                    "hybrid",
-                    hybrid_step,
-                    validate=lambda t: (
-                        isinstance(t, Trace)
-                        and 0 < t.length <= reach.hit_ring + 1
-                    ),
-                    fallback=hybrid_fallback,
-                    fallback_name="hybrid-bmc",
+                    "reach",
+                    reach_step,
+                    fallback=reach_fallback,
+                    fallback_name="abstract-bmc",
                 )
+                record.bdd_nodes = encoding.bdd.total_nodes()
                 if not step.ok:
+                    record.reach_outcome = "resource_out"
                     record.seconds = time.monotonic() - iter_start
                     return finish(
                         RfnStatus.RESOURCE_OUT,
-                        detail=f"hybrid engine: {step.abort.describe()}",
+                        detail=(
+                            "reachability resource limit on abstract model: "
+                            f"{step.abort.describe()}"
+                        ),
                         failure=step.abort,
                     )
-                abstract_trace = step.value
+
+                abstract_trace: Optional[Trace] = None
+                reach = None
                 if step.fell_back:
-                    record.fallbacks = (
-                        f"{record.fallbacks},hybrid-bmc"
-                        if record.fallbacks
-                        else "hybrid-bmc"
-                    )
+                    record.fallbacks = "abstract-bmc"
+                    bmc_result: BmcResult = step.value
+                    if bmc_result.outcome is BmcOutcome.TRUE:
+                        record.reach_outcome = "bmc_induction_true"
+                        record.seconds = time.monotonic() - iter_start
+                        self._log(
+                            f"[iter {index}] abstract-model k-induction "
+                            f"closed at depth {bmc_result.induction_depth}: "
+                            f"property VERIFIED"
+                        )
+                        verdict = finish(RfnStatus.VERIFIED)
+                        verdict.abstract_model = model
+                        return verdict
+                    record.reach_outcome = "bmc_counterexample"
+                    abstract_trace = bmc_result.trace
                     self._log(
-                        f"[iter {index}] hybrid engine degraded to "
-                        f"bounded abstract BMC"
+                        f"[iter {index}] reachability degraded to abstract "
+                        f"BMC: counterexample at depth {bmc_result.depth}"
                     )
                 else:
-                    hybrid_stats = self._hybrid_stats
-                    self._log(
-                        f"[iter {index}] abstract error trace of length "
-                        f"{abstract_trace.length} "
-                        f"(min-cut {hybrid_stats.mincut_inputs} vs model "
-                        f"{hybrid_stats.model_inputs} inputs)"
+                    reach = step.value
+                    record.reach_outcome = reach.outcome.value
+                    record.reach_iterations = reach.iterations
+                    record.bdd_nodes = encoding.bdd.total_nodes()
+                    if reach.outcome is ReachOutcome.FIXPOINT:
+                        record.seconds = time.monotonic() - iter_start
+                        self._log(
+                            f"[iter {index}] fixpoint: property VERIFIED"
+                        )
+                        verdict = finish(RfnStatus.VERIFIED)
+                        verdict.abstract_model = model
+                        verdict.invariant = reach.reached
+                        verdict.invariant_encoding = encoding
+                        return verdict
+
+                if abstract_trace is None:
+
+                    def hybrid_step(attempt: int):
+                        scale = config.retry_scale ** attempt
+                        atpg_budget = config.atpg_budget
+                        if attempt > 0:
+                            atpg_budget = replace(
+                                atpg_budget,
+                                max_conflicts=(
+                                    None
+                                    if atpg_budget.max_conflicts is None
+                                    else int(atpg_budget.max_conflicts * scale)
+                                ),
+                            )
+                        hybrid = HybridTraceEngine(
+                            model,
+                            encoding,
+                            images,
+                            atpg_budget=atpg_budget,
+                            max_cube_tries=int(256 * scale),
+                            budget=budget,
+                            incremental=config.incremental,
+                        )
+                        self._hybrid_stats = hybrid.stats
+                        try:
+                            return hybrid.build_trace(reach, target)
+                        except HybridEngineError as error:
+                            raise EngineAbort(
+                                str(error), engine="hybrid", resource="cubes"
+                            ) from error
+
+                    def hybrid_fallback(_attempt: int):
+                        # Bounded BMC on the abstract model, depth-limited by
+                        # the ring that hit the target.
+                        result = bmc(
+                            model,
+                            self.prop,
+                            max_depth=reach.hit_ring,
+                            max_conflicts=config.atpg_budget.max_conflicts,
+                            induction=False,
+                            budget=budget,
+                            incremental=config.incremental,
+                        )
+                        if result.outcome is not BmcOutcome.FALSE:
+                            raise DepthOut(
+                                f"bounded abstract BMC found no trace within "
+                                f"the hit ring depth {reach.hit_ring}",
+                                engine="hybrid-bmc",
+                            )
+                        return result.trace
+
+                    step = supervisor.attempt(
+                        "hybrid",
+                        hybrid_step,
+                        validate=lambda t: (
+                            isinstance(t, Trace)
+                            and 0 < t.length <= reach.hit_ring + 1
+                        ),
+                        fallback=hybrid_fallback,
+                        fallback_name="hybrid-bmc",
                     )
+                    if not step.ok:
+                        record.seconds = time.monotonic() - iter_start
+                        return finish(
+                            RfnStatus.RESOURCE_OUT,
+                            detail=f"hybrid engine: {step.abort.describe()}",
+                            failure=step.abort,
+                        )
+                    abstract_trace = step.value
+                    if step.fell_back:
+                        record.fallbacks = (
+                            f"{record.fallbacks},hybrid-bmc"
+                            if record.fallbacks
+                            else "hybrid-bmc"
+                        )
+                        self._log(
+                            f"[iter {index}] hybrid engine degraded to "
+                            f"bounded abstract BMC"
+                        )
+                    else:
+                        hybrid_stats = self._hybrid_stats
+                        self._log(
+                            f"[iter {index}] abstract error trace of length "
+                            f"{abstract_trace.length} "
+                            f"(min-cut {hybrid_stats.mincut_inputs} vs model "
+                            f"{hybrid_stats.model_inputs} inputs)"
+                        )
 
             record.abstract_trace_length = abstract_trace.length
-            if config.reuse_variable_order:
+            if config.reuse_variable_order and encoding is not None:
                 self._saved_order = encoding.saved_order()
 
             # Step 3: guided search on the original design.

@@ -90,6 +90,40 @@ def one_hot_ring(n: int = 4) -> Tuple[Circuit, List[str]]:
     return c, signals
 
 
+def lfsr(width: int = 16, taps: Tuple[int, ...] = None) -> Tuple[
+    Circuit, UnreachabilityProperty
+]:
+    """A Fibonacci LFSR seeded all-ones; "the all-zero state is
+    unreachable" is True.
+
+    The property is 1-step inductive (feedback of a nonzero state cannot
+    produce zero, and the zero state is its own only predecessor), so
+    k-induction discharges it instantly -- while exhaustive forward
+    reachability must enumerate the full ``2^width - 1`` cycle.  That
+    asymmetry makes it the canonical portfolio workload: one strategy in
+    the race answers immediately, the others burn their budget slices.
+    """
+    if taps is None:
+        # Maximal-length tap sets for the common widths; anything else
+        # still yields a valid (if shorter-period) LFSR for which the
+        # zero-state property remains True and 1-inductive.
+        taps = {
+            4: (4, 3), 8: (8, 6, 5, 4), 12: (12, 11, 10, 4),
+            14: (14, 13, 12, 2), 16: (16, 15, 13, 4),
+        }.get(width, (width, width - 1))
+    c = Circuit(f"lfsr{width}")
+    state = [
+        c.add_register("fb" if i == 0 else f"q{i - 1}",
+                       init=1, output=f"q{i}")
+        for i in range(width)
+    ]
+    c.g_xor(*[state[t - 1] for t in taps], output="fb")
+    zero = c.g_nor(*state, output="all_zero")
+    prop = watchdog_property(c, zero, "zero_state")
+    c.validate()
+    return c, prop
+
+
 def password_lock(
     width: int = 4,
     secret: int = 0b1011,

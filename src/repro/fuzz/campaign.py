@@ -32,14 +32,20 @@ from repro.runtime.budget import Budget
 @dataclass
 class Finding:
     seed: int
-    report: OracleReport
+    #: the full report, or its ``to_json`` dict when the finding crossed
+    #: a worker pipe (OracleReports carry BDD invariants, which cannot)
+    report: "OracleReport | dict"
     reproducer_path: Optional[str] = None
     shrunk_stats: Optional[dict] = None
+
+    def report_json(self) -> dict:
+        report = self.report
+        return report if isinstance(report, dict) else report.to_json()
 
     def to_json(self) -> dict:
         return {
             "seed": self.seed,
-            "report": self.report.to_json(),
+            "report": self.report_json(),
             "reproducer": self.reproducer_path,
             "shrunk": self.shrunk_stats,
         }
@@ -132,6 +138,7 @@ def run_campaign(
     shrink: bool = True,
     log: Optional[Callable[[str], None]] = None,
     instance_seconds: Optional[float] = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run ``iters`` differential iterations starting at ``seed``.
 
@@ -142,6 +149,13 @@ def run_campaign(
     ``instance_seconds`` enforces a per-instance wall-clock budget so a
     single hostile generated netlist cannot stall the whole campaign:
     the instance is recorded as ``resource_out`` and the loop moves on.
+
+    ``jobs >= 2`` shards the instances across that many worker
+    processes.  Instance seeds stay ``seed + i`` regardless of
+    sharding and results merge back in seed order, so a sharded
+    campaign reports the same instances, findings and verdict counts
+    as the sequential one (timing fields aside); reproducers are
+    written by the parent, serially, in seed order.
     """
     gen_config = gen_config or GenConfig()
     oracle_config = oracle_config or OracleConfig()
@@ -151,6 +165,23 @@ def run_campaign(
     def note(message: str) -> None:
         if log is not None:
             log(message)
+
+    if jobs >= 2:
+        return _run_sharded(
+            result,
+            start,
+            note,
+            seed=seed,
+            iters=iters,
+            budget_seconds=budget_seconds,
+            gen_config=gen_config,
+            oracle_config=oracle_config,
+            engines=engines,
+            corpus_dir=corpus_dir,
+            shrink=shrink,
+            instance_seconds=instance_seconds,
+            jobs=jobs,
+        )
 
     for index in range(iters):
         if budget_seconds is not None and (
@@ -205,5 +236,109 @@ def run_campaign(
                     shrunk, corpus_dir, stem=f"fuzz{instance_seed}"
                 )
                 note(f"reproducer saved to {finding.reproducer_path}")
+    result.seconds = time.monotonic() - start
+    return result
+
+
+def _run_sharded(
+    result: CampaignResult,
+    start: float,
+    note: Callable[[str], None],
+    *,
+    seed: int,
+    iters: int,
+    budget_seconds: Optional[float],
+    gen_config: GenConfig,
+    oracle_config: OracleConfig,
+    engines: Optional[Sequence[str]],
+    corpus_dir: Optional[str],
+    shrink: bool,
+    instance_seconds: Optional[float],
+    jobs: int,
+) -> CampaignResult:
+    """The ``jobs >= 2`` campaign body: one forked worker per instance,
+    merged back in seed order (see ``run_campaign``)."""
+    from repro.parallel.shard import SKIPPED, ShardError, shard_map
+
+    def one_instance(instance_seed: int) -> dict:
+        instance = generate_instance(instance_seed, gen_config)
+        instance_budget = (
+            None
+            if instance_seconds is None
+            else Budget(
+                max_seconds=instance_seconds,
+                name=f"instance-{instance_seed}",
+            )
+        )
+        report = run_oracle(
+            instance.circuit,
+            instance.prop,
+            oracle_config,
+            engines=engines,
+            budget=instance_budget,
+        )
+        payload = {
+            "stats": instance.stats(),
+            "report": report.to_json(),
+            "ok": report.ok,
+            "resource_out": report.resource_out,
+            "consensus": (
+                None if report.consensus is None else report.consensus.value
+            ),
+            "verdicts": [v.verdict.value for v in report.verdicts],
+            "summary": report.summary(),
+            "shrunk": None,
+            "shrunk_stats": None,
+        }
+        if not report.ok and shrink:
+            # Shrink inside the worker (the expensive part); the parent
+            # persists the reproducer serially.  FuzzInstance is plain
+            # circuit + property, so it crosses the pipe.
+            shrunk = shrink_finding(instance, report, oracle_config)
+            payload["shrunk"] = shrunk
+            payload["shrunk_stats"] = shrunk.stats()
+        return payload
+
+    deadline = None if budget_seconds is None else start + budget_seconds
+    outcomes = shard_map(
+        one_instance,
+        [seed + index for index in range(iters)],
+        jobs=jobs,
+        deadline=deadline,
+        log=note,
+    )
+    for index, outcome in enumerate(outcomes):
+        if outcome is SKIPPED:
+            # Keep the longest completed prefix: everything merged so
+            # far matches what a sequential run with the same cutoff
+            # would have produced.
+            result.budget_exhausted = True
+            note(f"budget exhausted after {result.iterations_run} iterations")
+            break
+        if isinstance(outcome, ShardError):
+            raise outcome
+        instance_seed = seed + index
+        result.iterations_run += 1
+        stats = dict(outcome["stats"])
+        stats["ok"] = outcome["ok"]
+        if outcome["resource_out"]:
+            result.resource_out_count += 1
+            stats["resource_out"] = True
+            note(f"instance {instance_seed}: per-instance budget hit")
+        stats["consensus"] = outcome["consensus"]
+        result.instances.append(stats)
+        for key in outcome["verdicts"]:
+            result.verdict_counts[key] = result.verdict_counts.get(key, 0) + 1
+        note(outcome["summary"])
+        if outcome["ok"]:
+            continue
+        finding = Finding(seed=instance_seed, report=outcome["report"])
+        result.findings.append(finding)
+        finding.shrunk_stats = outcome["shrunk_stats"]
+        if outcome["shrunk"] is not None and corpus_dir is not None:
+            finding.reproducer_path = save_reproducer(
+                outcome["shrunk"], corpus_dir, stem=f"fuzz{instance_seed}"
+            )
+            note(f"reproducer saved to {finding.reproducer_path}")
     result.seconds = time.monotonic() - start
     return result

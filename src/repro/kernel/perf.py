@@ -86,6 +86,32 @@ class PerfCounters:
             )
             self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
 
+    # -- cross-process aggregation ---------------------------------------
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` payload from another process into this
+        instance.  Portfolio workers reset their own ``PERF``, run, and
+        ship the snapshot over the result pipe; the parent merges every
+        envelope so run-level counters cover the whole pool.  Derived
+        fields (hit rates, pattern-gates/s) are recomputed, not merged."""
+        self.gate_evals += int(snapshot.get("gate_evals", 0))
+        self.pattern_gate_evals += int(snapshot.get("pattern_gate_evals", 0))
+        self.patterns_simulated += int(snapshot.get("patterns_simulated", 0))
+        self.sim_seconds += float(snapshot.get("sim_seconds", 0.0))
+        for name, value in snapshot.get("counters", {}).items():
+            self.bump(name, int(value))
+        for name, info in snapshot.get("caches", {}).items():
+            self.hit(name, int(info.get("hits", 0)))
+            self.miss(name, int(info.get("misses", 0)))
+        for name, info in snapshot.get("phases", {}).items():
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0)
+                + float(info.get("seconds", 0.0))
+            )
+            self.phase_calls[name] = (
+                self.phase_calls.get(name, 0) + int(info.get("calls", 0))
+            )
+
     # -- reporting -------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:

@@ -1,0 +1,121 @@
+"""Result envelopes and budget slicing for the portfolio executor.
+
+A worker never sends engine objects over the pipe -- BDD functions and
+solver sessions are process-local -- only the :class:`WorkerEnvelope`:
+a verdict string, an (optional, picklable) :class:`~repro.trace.Trace`,
+the contained :class:`~repro.runtime.supervisor.AbortInfo` if the
+strategy aborted, and the worker's perf-counter snapshot so the parent
+can fold pool-wide totals into its own ``PERF``.
+
+Budget slicing follows one rule: **every strategy gets the same slice
+in sequential and parallel mode**.  ``slice_limits`` divides the
+caller's remaining wall clock (and countable SAT/BDD resources) by the
+number of strategies once, up front.  Sequential execution burns the
+slices one after another; parallel execution overlaps them -- which is
+where the wall-clock win comes from even on one core -- while each
+individual strategy sees identical limits either way.  That equality is
+what makes the determinism suite's "parallel == sequential" contract
+checkable rather than aspirational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.runtime.budget import Budget
+from repro.runtime.supervisor import AbortInfo
+from repro.trace import Trace
+
+#: Normalized portfolio verdicts.  Strings (not an enum) so envelopes
+#: stay trivially picklable and JSON-able across worker boundaries.
+VERIFIED = "verified"
+FALSIFIED = "falsified"
+UNKNOWN = "unknown"
+ERROR = "error"
+
+DEFINITE = (VERIFIED, FALSIFIED)
+
+
+def slice_limits(budget: Optional[Budget], ways: int) -> Dict[str, Optional[float]]:
+    """Limits for one of ``ways`` equal budget slices.
+
+    Wall clock and countable resources (conflicts, BDD nodes) are split
+    evenly; the memory watermark is process-level and passes through
+    unchanged.  With no budget at all, every field is None (unlimited).
+    """
+    ways = max(1, ways)
+    if budget is None:
+        return {
+            "max_seconds": None,
+            "max_conflicts": None,
+            "max_bdd_nodes": None,
+            "max_memory_mb": None,
+        }
+    remaining = budget.remaining_seconds()
+    conflicts = budget.remaining_conflicts()
+    return {
+        "max_seconds": None if remaining is None else remaining / ways,
+        "max_conflicts": None if conflicts is None else max(
+            1, conflicts // ways
+        ),
+        "max_bdd_nodes": None if budget.max_bdd_nodes is None else max(
+            1, budget.max_bdd_nodes // ways
+        ),
+        "max_memory_mb": budget.max_memory_mb,
+    }
+
+
+def budget_from_limits(
+    limits: Dict[str, Optional[float]],
+    name: str,
+    parent: Optional[Budget] = None,
+) -> Optional[Budget]:
+    """Materialize a slice budget.  ``parent`` (in-process sequential
+    mode only) intersects deadlines and propagates charges upward; a
+    forked worker passes None since the parent lives in another
+    process.  A fully unlimited slice materializes as None, keeping
+    engines on their no-budget fast path."""
+    if parent is None and all(v is None for v in limits.values()):
+        return None
+    return Budget(
+        max_seconds=limits.get("max_seconds"),
+        max_conflicts=limits.get("max_conflicts"),
+        max_bdd_nodes=limits.get("max_bdd_nodes"),
+        max_memory_mb=limits.get("max_memory_mb"),
+        name=name,
+        parent=parent,
+    )
+
+
+@dataclass
+class WorkerEnvelope:
+    """One strategy's complete, pipe-safe result."""
+
+    strategy: str
+    verdict: str = UNKNOWN
+    detail: str = ""
+    trace: Optional[Trace] = None
+    abort: Optional[AbortInfo] = None
+    seconds: float = 0.0
+    #: ``PERF.snapshot()`` of the worker process (empty for in-process
+    #: sequential runs, whose counters land in the parent directly)
+    perf: Dict[str, object] = field(default_factory=dict)
+    rss_mb: Optional[float] = None
+    pid: Optional[int] = None
+
+    @property
+    def definite(self) -> bool:
+        return self.verdict in DEFINITE
+
+    def to_json(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "verdict": self.verdict,
+            "detail": self.detail,
+            "trace_length": None if self.trace is None else self.trace.length,
+            "abort": None if self.abort is None else self.abort.to_json(),
+            "seconds": round(self.seconds, 4),
+            "rss_mb": None if self.rss_mb is None else round(self.rss_mb, 1),
+            "pid": self.pid,
+        }

@@ -1,0 +1,283 @@
+"""The racing portfolio executor (first definite verdict wins).
+
+``race`` runs every strategy on the same obligation, each inside its
+own budget slice (see :mod:`repro.parallel.envelope`):
+
+- ``jobs <= 1``: in-process reference mode -- the slices burn one after
+  another in :data:`~repro.parallel.worker.STRATEGY_ORDER`, stopping at
+  the first definite verdict.  This is the baseline the determinism
+  suite compares against.
+- ``jobs >= 2``: up to ``jobs`` forked workers run concurrently; as a
+  worker returns an indefinite envelope the next pending strategy is
+  backfilled into its slot.  The first definite envelope cancels every
+  other worker (``terminate`` then ``join``); losers' slices overlap
+  instead of serializing, which is the whole wall-clock win.
+
+Cancellation protocol: workers are daemonic and write exactly one
+envelope to their pipe.  The parent polls with
+``multiprocessing.connection.wait``; on a winner (or ``KeyboardInterrupt``)
+it terminates, joins and reaps every live worker in a ``finally`` block,
+so no orphan can outlive the call.
+
+Determinism contract: every strategy is sound, so *which* strategy wins
+cannot change the verdict, only the latency.  Falsification witnesses
+are normalized in the parent through :func:`canonical_witness` -- a
+lexicographically-minimal shortest counterexample recomputed by bounded
+model checking -- so the reported trace is also independent of the
+winner.  What is *not* preserved in parallel mode: the winning strategy
+name, per-strategy timings, and VERIFIED results carry no inductive
+invariant (BDD functions cannot cross the pipe).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.property import UnreachabilityProperty
+from repro.kernel.perf import PERF
+from repro.mc.bmc import BmcOutcome, bmc
+from repro.netlist.circuit import Circuit
+from repro.parallel.envelope import (
+    ERROR,
+    UNKNOWN,
+    FALSIFIED,
+    WorkerEnvelope,
+    budget_from_limits,
+    slice_limits,
+)
+from repro.parallel.worker import STRATEGY_ORDER, run_strategy, worker_main
+from repro.runtime.budget import Budget
+from repro.runtime.chaos import ChaosMonkey
+from repro.runtime.supervisor import AbortInfo
+from repro.trace import Trace
+
+
+def _fork_context():
+    """The fork start context, or None when the platform lacks it (then
+    the race degrades to the sequential reference mode)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return None
+
+
+def canonical_witness(
+    circuit: Circuit,
+    prop: UnreachabilityProperty,
+    witness: Trace,
+) -> Trace:
+    """Normalize a counterexample to *the* canonical one: shortest depth
+    first, then lexicographically minimal under the circuit's signal
+    declaration order (the ``bmc`` canonical-trace contract).  Bounded
+    by the witness's own length, so the recomputation can never search
+    deeper than what some engine already found."""
+    result = bmc(
+        circuit,
+        prop,
+        max_depth=max(0, witness.length - 1),
+        max_conflicts=None,
+        induction=False,
+        incremental=False,
+        canonical_trace=True,
+    )
+    if result.outcome is BmcOutcome.FALSE and result.trace is not None:
+        return result.trace
+    return witness
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one race."""
+
+    verdict: str
+    trace: Optional[Trace] = None
+    winner: Optional[str] = None
+    jobs: int = 1
+    strategies: Tuple[str, ...] = ()
+    envelopes: List[WorkerEnvelope] = field(default_factory=list)
+    seconds: float = 0.0
+    canonical: bool = False
+
+    @property
+    def verified(self) -> bool:
+        return self.verdict == "verified"
+
+    @property
+    def falsified(self) -> bool:
+        return self.verdict == "falsified"
+
+    @property
+    def aborts(self) -> List[AbortInfo]:
+        return [e.abort for e in self.envelopes if e.abort is not None]
+
+    def envelope_of(self, strategy: str) -> Optional[WorkerEnvelope]:
+        for envelope in self.envelopes:
+            if envelope.strategy == strategy:
+                return envelope
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "winner": self.winner,
+            "jobs": self.jobs,
+            "strategies": list(self.strategies),
+            "trace_length": None if self.trace is None else self.trace.length,
+            "canonical": self.canonical,
+            "seconds": round(self.seconds, 4),
+            "envelopes": [e.to_json() for e in self.envelopes],
+        }
+
+
+def _finish(
+    result: PortfolioResult,
+    circuit: Circuit,
+    prop: UnreachabilityProperty,
+    winning: Optional[WorkerEnvelope],
+    canonicalize: bool,
+    start: float,
+) -> PortfolioResult:
+    if winning is not None:
+        result.verdict = winning.verdict
+        result.winner = winning.strategy
+        result.trace = winning.trace
+    if (
+        canonicalize
+        and result.verdict == FALSIFIED
+        and result.trace is not None
+    ):
+        result.trace = canonical_witness(circuit, prop, result.trace)
+        result.canonical = True
+    result.seconds = time.monotonic() - start
+    return result
+
+
+def race(
+    circuit: Circuit,
+    prop: UnreachabilityProperty,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    jobs: int = 1,
+    budget: Optional[Budget] = None,
+    chaos: Optional[ChaosMonkey] = None,
+    log: Optional[Callable[[str], None]] = None,
+    canonicalize: bool = True,
+    poll_seconds: float = 0.05,
+) -> PortfolioResult:
+    """Race ``strategies`` on one obligation; see the module docstring.
+
+    Returns UNKNOWN (never raises a contained error) when no strategy
+    reaches a definite verdict within its slice.
+    """
+    strategies = tuple(strategies)
+    start = time.monotonic()
+    limits = slice_limits(budget, len(strategies))
+    result = PortfolioResult(
+        verdict=UNKNOWN, jobs=max(1, jobs), strategies=strategies
+    )
+
+    def note(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    ctx = _fork_context() if jobs >= 2 else None
+    if ctx is None:
+        # Sequential reference mode: burn the slices in order.
+        winning = None
+        for strategy in strategies:
+            if budget is not None and budget.expired():
+                note(f"[portfolio] parent budget expired before {strategy}")
+                break
+            slice_budget = budget_from_limits(
+                limits, name=f"portfolio/{strategy}", parent=budget
+            )
+            envelope = run_strategy(
+                strategy, circuit, prop, slice_budget, chaos=chaos
+            )
+            result.envelopes.append(envelope)
+            note(
+                f"[portfolio] {strategy}: {envelope.verdict} "
+                f"({envelope.detail}) in {envelope.seconds:.2f}s"
+            )
+            if envelope.definite:
+                winning = envelope
+                break
+        return _finish(result, circuit, prop, winning, canonicalize, start)
+
+    pending = list(strategies)
+    running = {}  # conn -> (process, strategy)
+    winning: Optional[WorkerEnvelope] = None
+
+    def launch(strategy: str) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, strategy, circuit, prop, limits, chaos),
+            name=f"portfolio-{strategy}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the child owns its end now
+        running[parent_conn] = (proc, strategy)
+        note(f"[portfolio] worker {proc.pid} racing {strategy}")
+
+    try:
+        while pending and len(running) < jobs:
+            launch(pending.pop(0))
+        while running and winning is None:
+            ready = multiprocessing.connection.wait(
+                list(running), timeout=poll_seconds
+            )
+            for conn in ready:
+                proc, strategy = running.pop(conn)
+                try:
+                    envelope = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died without an envelope (hard crash,
+                    # kill -9): degrade, don't raise.
+                    proc.join()  # exitcode is only valid after the join
+                    envelope = WorkerEnvelope(
+                        strategy=strategy,
+                        verdict=ERROR,
+                        detail=(
+                            f"worker exited without a result "
+                            f"(exitcode {proc.exitcode})"
+                        ),
+                        pid=proc.pid,
+                    )
+                finally:
+                    conn.close()
+                proc.join()
+                result.envelopes.append(envelope)
+                if envelope.perf:
+                    PERF.merge(envelope.perf)
+                note(
+                    f"[portfolio] {strategy}: {envelope.verdict} "
+                    f"({envelope.detail}) in {envelope.seconds:.2f}s"
+                )
+                if envelope.definite and winning is None:
+                    winning = envelope
+                elif pending:
+                    launch(pending.pop(0))
+            if not ready and budget is not None and budget.expired():
+                note("[portfolio] parent budget expired; cancelling race")
+                break
+    finally:
+        for conn, (proc, strategy) in list(running.items()):
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in a syscall
+                proc.kill()
+                proc.join(timeout=5.0)
+            conn.close()
+        running.clear()
+
+    # Keep the reported envelope order deterministic (strategy order,
+    # not completion order).
+    order = {name: i for i, name in enumerate(strategies)}
+    result.envelopes.sort(key=lambda e: order.get(e.strategy, len(order)))
+    return _finish(result, circuit, prop, winning, canonicalize, start)

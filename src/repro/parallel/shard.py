@@ -1,0 +1,149 @@
+"""Ordered sharded map over forked workers.
+
+``shard_map`` is the parallel primitive behind ``repro fuzz --jobs`` and
+``repro batch``: apply ``fn`` to every item, at most ``jobs`` at a time,
+each item in its own forked process, and return results **in item
+order** regardless of completion order.  That ordering rule is what
+keeps sharded runs byte-comparable with sequential ones: downstream
+consumers (campaign merging, batch reports) never observe scheduling.
+
+Item isolation is total -- a segfaulting or OOM-killed item surfaces as
+a :class:`ShardError` entry in its own slot, not a dead pool.  With
+``jobs <= 1``, a single item, or no ``fork`` start method, the map runs
+in-process (plain loop), so callers treat parallelism as optional.
+
+A ``deadline`` (absolute ``time.monotonic()`` instant) stops the map
+early: running workers past the deadline are cancelled and their slots
+-- plus all unlaunched ones -- are filled with ``skipped``.  On
+``KeyboardInterrupt`` every worker is terminated and joined before the
+interrupt propagates, so Ctrl-C never leaks processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from typing import Callable, List, Optional, Sequence
+
+
+class ShardError(RuntimeError):
+    """An item's worker raised (or died); carries the child traceback."""
+
+
+#: Slot marker for items never run because the deadline hit first.
+SKIPPED = "skipped"
+
+
+def _child_main(conn, fn, item) -> None:
+    try:
+        conn.send(("ok", fn(item)))
+    except Exception as error:
+        try:
+            conn.send(("error", f"{error}\n{traceback.format_exc()}"))
+        except Exception:  # unpicklable error detail: ship text only
+            conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _run_inline(
+    fn: Callable, items: Sequence, deadline: Optional[float]
+) -> List:
+    results: List = []
+    for item in items:
+        if deadline is not None and time.monotonic() >= deadline:
+            results.append(SKIPPED)
+            continue
+        results.append(fn(item))
+    return results
+
+
+def shard_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+    log: Optional[Callable[[str], None]] = None,
+    poll_seconds: float = 0.05,
+) -> List:
+    """Ordered parallel map (see module docstring).
+
+    Each result slot holds the item's return value, a :class:`ShardError`
+    (worker raised or died), or the :data:`SKIPPED` marker (deadline).
+    Errors are returned, not raised, so one bad item cannot hide the
+    other shards' results; callers decide whether to re-raise.
+    """
+    items = list(items)
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        ctx = None
+    if jobs <= 1 or len(items) <= 1 or ctx is None:
+        return _run_inline(fn, items, deadline)
+
+    results: List = [SKIPPED] * len(items)
+    next_index = 0
+    running = {}  # conn -> (process, item index)
+
+    def note(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    def launch() -> None:
+        nonlocal next_index
+        index = next_index
+        next_index += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(child_conn, fn, items[index]),
+            name=f"shard-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        running[parent_conn] = (proc, index)
+
+    try:
+        while next_index < len(items) and len(running) < jobs:
+            launch()
+        while running:
+            if deadline is not None and time.monotonic() >= deadline:
+                note(f"[shard] deadline hit with {len(running)} running")
+                break
+            ready = multiprocessing.connection.wait(
+                list(running), timeout=poll_seconds
+            )
+            for conn in ready:
+                proc, index = running.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    proc.join()  # exitcode is only valid after the join
+                    status, payload = "error", (
+                        f"shard worker for item {index} died "
+                        f"(exitcode {proc.exitcode})"
+                    )
+                finally:
+                    conn.close()
+                proc.join()
+                results[index] = (
+                    payload if status == "ok" else ShardError(payload)
+                )
+                if next_index < len(items) and (
+                    deadline is None or time.monotonic() < deadline
+                ):
+                    launch()
+    finally:
+        for conn, (proc, _index) in list(running.items()):
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in a syscall
+                proc.kill()
+                proc.join(timeout=5.0)
+            conn.close()
+        running.clear()
+    return results

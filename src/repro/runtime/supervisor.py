@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.runtime.abort import EngineAbort, InjectedFault, MemoryOut
-from repro.runtime.budget import Budget
+from repro.runtime.budget import Budget, process_rss_mb
 from repro.runtime.chaos import ChaosMonkey, Garbage
 
 #: Exception classes the supervisor contains.  ``KeyboardInterrupt``
@@ -45,26 +45,36 @@ class AbortInfo:
     detail: str
     injected: bool = False
     attempt: int = 0
+    #: RSS watermark (MiB) snapshotted when a memory abort was contained,
+    #: so post-mortems can tell an OOM near the limit from a stray
+    #: MemoryError raised at 5% RSS.  None for non-memory aborts.
+    rss_mb: Optional[float] = None
 
     @classmethod
     def from_exception(
         cls, engine: str, error: BaseException, attempt: int = 0
     ) -> "AbortInfo":
         if isinstance(error, EngineAbort):
+            rss = None
+            if error.resource == MemoryOut.resource and not error.injected:
+                rss = process_rss_mb()
             return cls(
                 engine=error.engine or engine,
                 resource=error.resource,
                 detail=error.detail,
                 injected=error.injected,
                 attempt=attempt,
+                rss_mb=rss,
             )
         if isinstance(error, MemoryError):
+            injected = "chaos" in str(error)
             return cls(
                 engine=engine,
                 resource=MemoryOut.resource,
                 detail=str(error) or "MemoryError",
-                injected="chaos" in str(error),
+                injected=injected,
                 attempt=attempt,
+                rss_mb=None if injected else process_rss_mb(),
             )
         return cls(
             engine=engine,
@@ -78,13 +88,27 @@ class AbortInfo:
         return f"{self.engine}: {self.resource}{tag}: {self.detail}"
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "engine": self.engine,
             "resource": self.resource,
             "detail": self.detail,
             "injected": self.injected,
             "attempt": self.attempt,
         }
+        if self.rss_mb is not None:
+            payload["rss_mb"] = round(self.rss_mb, 1)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AbortInfo":
+        return cls(
+            engine=payload.get("engine", "?"),
+            resource=payload.get("resource", "?"),
+            detail=payload.get("detail", ""),
+            injected=bool(payload.get("injected", False)),
+            attempt=int(payload.get("attempt", 0)),
+            rss_mb=payload.get("rss_mb"),
+        )
 
 
 @dataclass

@@ -1,0 +1,235 @@
+"""Metamorphic engine tests: verdicts are a function of the design's
+semantics, not its presentation.
+
+Every transform in :mod:`repro.netlist.transform` preserves the
+transition relation -- alpha conversion, gate declaration order, input
+declaration order, register declaration order.  Every engine verdict
+(``verified``/``falsified``/``unknown``) must therefore be invariant
+under all of them, on both property polarities.  This is the contract
+the parallel portfolio executor leans on: a race may hand the same
+obligation to engines that saw the netlist through different frontends.
+
+Canonical traces get a stronger check for the pure-renaming transform:
+renaming preserves declaration order, so canonicalization *commutes*
+with it -- ``canonical(rename(C)) == rename(canonical(C))``.
+"""
+
+import pytest
+
+from repro.core.property import UnreachabilityProperty
+from repro.fuzz.gen import generate_instance
+from repro.netlist.circuit import NetlistError
+from repro.netlist.transform import (
+    METAMORPHIC_TRANSFORMS,
+    SignalMap,
+    apply_transform,
+    fresh_renaming,
+    permute_gates,
+    permute_registers,
+    rename_signals,
+    reorder_inputs,
+)
+from repro.parallel.portfolio import canonical_witness, race
+from repro.parallel.worker import STRATEGIES, run_strategy
+from repro.sim import Simulator
+
+from tests.conftest import (
+    buggy_counter,
+    free_counter_with_bad,
+    saturating_counter,
+    toggle_design,
+    unreachable_lasso,
+)
+
+#: (label, builder); two TRUE properties, two FALSE ones.
+DESIGNS = (
+    ("toggle", toggle_design),
+    ("satcnt", saturating_counter),
+    ("buggy_cnt", buggy_counter),
+    ("free_cnt_bad", free_counter_with_bad),
+)
+
+
+# --------------------------------------------------------------------
+# The transforms themselves
+# --------------------------------------------------------------------
+
+
+class TestTransforms:
+    def test_rename_is_alpha_conversion(self):
+        circuit, prop = toggle_design()
+        smap = fresh_renaming(circuit, seed=3)
+        renamed = rename_signals(circuit, smap.mapping)
+        assert set(renamed.signals()) == {
+            smap(s) for s in circuit.signals()
+        }
+        assert renamed.num_gates == circuit.num_gates
+        assert renamed.num_registers == circuit.num_registers
+
+    def test_rename_rejects_non_injective_map(self):
+        with pytest.raises(NetlistError, match="injective"):
+            SignalMap({"a": "x", "b": "x"})
+
+    def test_rename_rejects_collision_with_kept_name(self):
+        circuit, _ = toggle_design()
+        # "x" stays unmapped but "xd" is renamed onto it.
+        with pytest.raises(NetlistError, match="collides"):
+            rename_signals(circuit, {"xd": "x"})
+
+    def test_signal_map_inverse_roundtrip(self):
+        circuit, prop = buggy_counter()
+        smap = fresh_renaming(circuit, seed=1)
+        back = smap.inverse()
+        for signal in circuit.signals():
+            assert back(smap(signal)) == signal
+        assert back.map_property(smap.map_property(prop)).target == \
+            prop.target
+
+    def test_reorderings_preserve_cell_sets(self):
+        circuit, _ = unreachable_lasso()
+        for transformed in (
+            permute_gates(circuit, seed=5),
+            reorder_inputs(circuit, seed=5),
+            permute_registers(circuit, seed=5),
+        ):
+            assert set(transformed.inputs) == set(circuit.inputs)
+            assert set(transformed.gates) == set(circuit.gates)
+            assert set(transformed.registers) == set(circuit.registers)
+            assert list(transformed.outputs) == list(circuit.outputs)
+
+    def test_apply_transform_rejects_unknown_name(self):
+        circuit, prop = toggle_design()
+        with pytest.raises(ValueError, match="unknown transform"):
+            apply_transform(circuit, prop, "mirror")
+
+    def test_rename_preserves_simulation_semantics(self):
+        """Cycle-accurate equivalence under the signal map, on a design
+        with a primary input driving the interesting behaviour."""
+        circuit, _ = unreachable_lasso()
+        smap = fresh_renaming(circuit, seed=9)
+        renamed = rename_signals(circuit, smap.mapping)
+        sim, rsim = Simulator(circuit), Simulator(renamed)
+        state, rstate = sim.initial_state(0), rsim.initial_state(0)
+        for cycle in range(12):
+            inputs = {"jump": (cycle >> 1) & 1}
+            rinputs = {smap(n): v for n, v in inputs.items()}
+            values, state = sim.step(state, inputs)
+            rvalues, rstate = rsim.step(rstate, rinputs)
+            assert rvalues == {smap(s): v for s, v in values.items()}
+
+
+# --------------------------------------------------------------------
+# Verdict invariance, every engine x every transform x both polarities
+# --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", sorted(STRATEGIES))
+@pytest.mark.parametrize("transform", METAMORPHIC_TRANSFORMS)
+class TestVerdictInvariance:
+    def test_verdict_survives_transform(self, engine, transform):
+        for label, builder in DESIGNS:
+            circuit, prop = builder()
+            baseline = run_strategy(engine, circuit, prop)
+            mutated, mprop, _ = apply_transform(
+                circuit, prop, transform, seed=7
+            )
+            transformed = run_strategy(engine, mutated, mprop)
+            assert transformed.verdict == baseline.verdict, (
+                f"{engine} on {label}: {baseline.verdict} became "
+                f"{transformed.verdict} under {transform}"
+            )
+
+
+@pytest.mark.parametrize("transform", METAMORPHIC_TRANSFORMS)
+def test_portfolio_race_verdict_survives_transform(transform):
+    """The racing entry point itself is transform-invariant (sequential
+    reference mode: deterministic, no processes)."""
+    for label, builder in DESIGNS:
+        circuit, prop = builder()
+        baseline = race(circuit, prop)
+        mutated, mprop, _ = apply_transform(circuit, prop, transform, seed=3)
+        transformed = race(mutated, mprop)
+        assert transformed.verdict == baseline.verdict, (
+            f"{label}: {baseline.verdict} became {transformed.verdict} "
+            f"under {transform}"
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("transform", METAMORPHIC_TRANSFORMS)
+def test_generated_instances_survive_transform(seed, transform):
+    """Random fuzzer circuits, not just the curated library: the
+    sequential race verdict is invariant under every transform."""
+    instance = generate_instance(seed)
+    baseline = race(instance.circuit, instance.prop)
+    mutated, mprop, _ = apply_transform(
+        instance.circuit, instance.prop, transform, seed=seed
+    )
+    transformed = race(mutated, mprop)
+    assert transformed.verdict == baseline.verdict
+
+
+# --------------------------------------------------------------------
+# Canonical traces commute with renaming
+# --------------------------------------------------------------------
+
+
+def test_canonical_trace_commutes_with_renaming():
+    circuit, prop = buggy_counter()
+    baseline = race(circuit, prop)
+    assert baseline.falsified and baseline.canonical
+
+    smap = fresh_renaming(circuit, seed=4)
+    renamed = rename_signals(circuit, smap.mapping)
+    rprop = smap.map_property(prop)
+    transformed = race(renamed, rprop)
+    assert transformed.falsified and transformed.canonical
+
+    mapped = smap.map_trace(baseline.trace)
+    assert transformed.trace.states == mapped.states
+    assert transformed.trace.inputs == mapped.inputs
+
+
+def test_canonical_witness_is_idempotent_under_gate_permutation():
+    """Gate order does not feed the canonicalization (registers and
+    inputs do), so the canonical trace is byte-identical under it."""
+    circuit, prop = free_counter_with_bad()
+    baseline = race(circuit, prop)
+    permuted = permute_gates(circuit, seed=11)
+    transformed = race(permuted, prop)
+    assert transformed.trace.states == baseline.trace.states
+    assert transformed.trace.inputs == baseline.trace.inputs
+
+
+def test_canonical_witness_never_lengthens():
+    """Whatever witness an engine found, canonicalization only ever
+    shortens (or keeps) it."""
+    circuit, prop = buggy_counter()
+    result = run_strategy("bmc", circuit, prop)
+    assert result.verdict == "falsified"
+    canon = canonical_witness(circuit, prop, result.trace)
+    assert canon.length <= result.trace.length
+
+
+# --------------------------------------------------------------------
+# The full differential oracle survives transforms too
+# --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("transform", METAMORPHIC_TRANSFORMS)
+def test_oracle_agreement_survives_transform(transform):
+    from tests.conftest import assert_engines_agree
+
+    instance = generate_instance(5)
+    mutated, mprop, _ = apply_transform(
+        instance.circuit, instance.prop, transform, seed=2
+    )
+    assert_engines_agree(mutated, mprop)
+
+
+def test_transformed_property_still_validates():
+    circuit, prop = saturating_counter()
+    for transform in METAMORPHIC_TRANSFORMS:
+        mutated, mprop, _ = apply_transform(circuit, prop, transform)
+        mprop.validate_against(mutated)
+        assert isinstance(mprop, UnreachabilityProperty)
