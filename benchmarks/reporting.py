@@ -19,7 +19,14 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 def emit_json(name: str, payload: dict) -> str:
     """Write a benchmark result dict to ``benchmarks/out/<name>.json`` and
     echo it to real stdout; machine-readable counterpart of
-    :func:`emit_table` for perf-trajectory tracking across PRs."""
+    :func:`emit_table` for perf-trajectory tracking across PRs.
+
+    Every payload gets a ``metrics`` key (the process-global
+    ``PERF.snapshot()``) unless the benchmark already set one, so the
+    artifacts carry the counters behind the headline numbers."""
+    from repro.kernel.perf import PERF
+
+    payload.setdefault("metrics", PERF.snapshot())
     os.makedirs(OUT_DIR, exist_ok=True)
     path = os.path.join(OUT_DIR, f"{name}.json")
     text = json.dumps(payload, indent=2, sort_keys=True)

@@ -23,7 +23,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.atpg.encode import Unroller
+from repro.kernel.perf import PERF
 from repro.kernel.scache import solver_session
+from repro.obs import tracer as obs
 from repro.trace import Trace
 from repro.netlist.circuit import Circuit
 from repro.sat.solver import SatStatus, Solver
@@ -133,6 +135,41 @@ def sequential_atpg(
     used when replaying an abstract-model trace on a differently-sized
     subcircuit.
     """
+    with obs.span(
+        "atpg.sequential", cycles=cycles, incremental=incremental
+    ) as phase:
+        result = _sequential_atpg(
+            circuit,
+            cycles,
+            cubes,
+            use_initial_state=use_initial_state,
+            initial_state=initial_state,
+            budget=budget,
+            skip_missing=skip_missing,
+            verify=verify,
+            incremental=incremental,
+        )
+        phase.set(
+            result=result.outcome.value,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+        )
+        PERF.gauge("atpg.conflicts", result.conflicts)
+        return result
+
+
+def _sequential_atpg(
+    circuit: Circuit,
+    cycles: int,
+    cubes: Union[CubeMap, Sequence[Mapping[str, int]], None] = None,
+    *,
+    use_initial_state: bool = True,
+    initial_state: Optional[Mapping[str, int]] = None,
+    budget: Optional[AtpgBudget] = None,
+    skip_missing: bool = False,
+    verify: bool = True,
+    incremental: bool = True,
+) -> AtpgResult:
     assumptions: List[int] = []
     if incremental:
         session = solver_session(
@@ -215,6 +252,31 @@ def combinational_atpg(
     hybrid engine uses this to extend a min-cut cube to a no-cut cube
     (Section 2.2).
     """
+    with obs.span("atpg.combinational", incremental=incremental) as phase:
+        result = _combinational_atpg(
+            circuit,
+            target,
+            constraints,
+            budget=budget,
+            incremental=incremental,
+        )
+        phase.set(
+            result=result.outcome.value,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+        )
+        PERF.gauge("atpg.conflicts", result.conflicts)
+        return result
+
+
+def _combinational_atpg(
+    circuit: Circuit,
+    target: Mapping[str, int],
+    constraints: Iterable[Mapping[str, int]] = (),
+    *,
+    budget: Optional[AtpgBudget] = None,
+    incremental: bool = True,
+) -> AtpgResult:
     budget = budget or AtpgBudget()
     if incremental:
         session = solver_session(circuit, 1, use_initial_state=False)

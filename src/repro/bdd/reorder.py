@@ -254,6 +254,10 @@ class ReorderMixin:
         sift.  ``max_groups`` bounds the work on managers with thousands
         of variables: only the largest that-many groups are sifted.
         """
+        from repro.kernel.perf import PERF
+        from repro.obs import tracer as obs
+
+        phase = obs.span("bdd.sift", nodes_before=self.total_nodes())
         self._begin_reorder()
         try:
             def group_size(grp: List[int]) -> int:
@@ -294,6 +298,10 @@ class ReorderMixin:
                     gi -= 1
         finally:
             self._end_reorder()
+            nodes = self.total_nodes()
+            PERF.gauge("bdd.nodes", nodes)
+            phase.set(nodes_after=nodes)
+            phase.__exit__(None, None, None)
         self._last_reorder_size = max(256, self.total_nodes())
         return self.total_nodes()
 

@@ -8,6 +8,8 @@ Commands
 ``simulate``   random simulation with a rendered waveform
 ``fuzz``       differential fuzzing of the verification engines
 ``batch``      verify many corpus netlists, sharded across processes
+``trace``      validate/export an obs trace (Chrome JSON, folded stacks)
+``report``     human-readable run report from an obs trace
 
 Netlists use the text format of :mod:`repro.netlist.textio` (see
 ``examples/netlist_files.py``).  Exit codes for ``verify``: 0 = property
@@ -40,6 +42,7 @@ from repro.mc.bmc import BmcOutcome, bmc
 from repro.mc.reach import ReachLimits
 from repro.netlist import circuit_from_text, circuit_to_text, parse_verilog
 from repro.netlist.ops import coi_stats
+from repro.obs import tracer as obs
 from repro.runtime import Budget, ChaosMonkey, RfnCheckpoint
 from repro.sim import RandomSimulator
 from repro.trace import Trace
@@ -441,6 +444,57 @@ def cmd_fuzz(args) -> int:
     return 1
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        load_records,
+        to_chrome_json,
+        to_folded,
+        validate_records,
+    )
+
+    records = load_records(args.tracefile)
+    problems = validate_records(records)
+    if args.validate or not (args.chrome or args.flame):
+        if problems:
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            print(f"{args.tracefile}: {len(problems)} schema problem(s)",
+                  file=sys.stderr)
+            return 1
+        spans = sum(1 for r in records if r.get("type") == "span")
+        events = sum(1 for r in records if r.get("type") == "event")
+        print(f"{args.tracefile}: valid "
+              f"({spans} spans, {events} events)")
+        if not (args.chrome or args.flame):
+            return 0
+
+    if args.chrome:
+        text = to_chrome_json(records)
+        default = args.tracefile + ".chrome.json"
+    else:
+        text = "\n".join(to_folded(records))
+        if text:
+            text += "\n"
+        default = args.tracefile + ".folded"
+    out = args.output or default
+    if out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(out, "w") as handle:
+            handle.write(text)
+        kind = "chrome trace" if args.chrome else "folded stacks"
+        print(f"{kind} written to {out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs import load_records, render_report
+
+    records = load_records(args.tracefile)
+    print(render_report(records), end="")
+    return 0
+
+
 def cmd_batch(args) -> int:
     from repro.fuzz.shrink import load_corpus, load_instance
     from repro.parallel import STRATEGY_ORDER, race
@@ -618,6 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--unique-states", action="store_true",
                           help="BMC: simple-path induction constraints")
     p_verify.add_argument("--vcd", help="write the error trace as VCD")
+    p_verify.add_argument(
+        "--trace", metavar="PATH",
+        help="write an obs span/event trace (schema-versioned JSONL) "
+        "here; inspect it with 'repro trace' / 'repro report'",
+    )
     p_verify.add_argument("--verbose", action="store_true")
     p_verify.set_defaults(func=cmd_verify)
 
@@ -677,6 +736,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard instances across this many worker "
                         "processes (results merge in seed order, so the "
                         "report matches a sequential run)")
+    p_fuzz.add_argument(
+        "--trace", metavar="PATH",
+        help="write an obs span/event trace (schema-versioned JSONL) "
+        "here; inspect it with 'repro trace' / 'repro report'",
+    )
     p_fuzz.add_argument("--verbose", action="store_true")
     p_fuzz.set_defaults(func=cmd_fuzz)
 
@@ -704,6 +768,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--report", help="write a JSON batch report here")
     p_batch.add_argument("--verbose", action="store_true")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="validate or export an obs trace written with --trace",
+    )
+    p_trace.add_argument("tracefile", help="JSONL trace from --trace")
+    p_trace.add_argument(
+        "--chrome", action="store_true",
+        help="export Chrome tracing JSON (chrome://tracing, Perfetto)",
+    )
+    p_trace.add_argument(
+        "--flame", action="store_true",
+        help="export folded stacks (flamegraph.pl / speedscope input)",
+    )
+    p_trace.add_argument(
+        "--validate", action="store_true",
+        help="schema-validate even when exporting (the default action "
+        "when no exporter is chosen)",
+    )
+    p_trace.add_argument(
+        "-o", "--output",
+        help="output path ('-' for stdout; default: <tracefile> plus "
+        "'.chrome.json' or '.folded')",
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="summarize an obs trace: RFN iterations, fuzz rollups, "
+        "worker lanes, counters",
+    )
+    p_report.add_argument("tracefile", help="JSONL trace from --trace")
+    p_report.set_defaults(func=cmd_report)
     return parser
 
 
@@ -739,7 +836,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _PARTIAL.clear()
+    trace_path = getattr(args, "trace", None)
     try:
+        if trace_path:
+            obs.TRACER.enable(trace_path)
         return args.func(args)
     except KeyboardInterrupt:
         print(json.dumps(_partial_report(), indent=2, sort_keys=True))
@@ -748,6 +848,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3
+    finally:
+        if trace_path:
+            obs.TRACER.close()
+            print(f"obs trace written to {trace_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

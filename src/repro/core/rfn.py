@@ -36,7 +36,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.atpg.engine import AtpgBudget
 from repro.core.abstraction import Abstraction
@@ -50,6 +50,7 @@ from repro.mc.encode import SymbolicEncoding
 from repro.mc.images import ImageComputer
 from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
 from repro.netlist.circuit import Circuit
+from repro.obs import tracer as obs
 from repro.runtime.abort import ABORT_BY_RESOURCE, DepthOut, EngineAbort
 from repro.runtime.budget import Budget
 from repro.runtime.chaos import ChaosMonkey
@@ -91,7 +92,7 @@ class RfnConfig:
     # more registers than one block holds (None = disabled).
     approx_block_size: Optional[int] = None
     approx_overlap: int = 2
-    log: Optional[callable] = None  # def log(message: str)
+    log: Optional[Callable[[str], None]] = None
     # --- resilience (repro.runtime) -----------------------------------
     #: run-level budget; its deadline/memory watermark is polled inside
     #: every engine's hot loop
@@ -205,6 +206,7 @@ class RFN:
         self.iterations: List[RfnIteration] = []
         self._completed = 0  # refinement iterations already done
         self._prior_spent: Dict[str, float] = {}
+        self._iter_span: Optional[obs.SpanHandle] = None
         if resume is not None:
             resume.validate_against(circuit, prop)
             self.abstraction.refine(resume.kept_registers)
@@ -219,8 +221,47 @@ class RFN:
         self.resumed_iterations = len(self.iterations)
 
     def _log(self, message: str) -> None:
+        obs.event("rfn.log", message=message)
         if self.config.log is not None:
             self.config.log(message)
+
+    # -- iteration spans -----------------------------------------------
+    # The loop body has many exit paths (finish() calls, contained and
+    # escaping aborts), so the iteration span is held on the instance
+    # and closed by finish()/the next iteration/rfn_verify rather than
+    # lexically.  TRACER.close() force-flags anything that still leaks.
+
+    def _open_iter_span(self, index: int, model: Circuit) -> None:
+        self._close_iter_span()
+        if obs.TRACER.enabled:
+            self._iter_span = obs.TRACER.start(
+                "rfn.iteration",
+                {
+                    "iter": index,
+                    "registers": model.num_registers,
+                    "gates": model.num_gates,
+                },
+            )
+
+    def _close_iter_span(
+        self,
+        status: str = "",
+        record: Optional[RfnIteration] = None,
+    ) -> None:
+        handle = self._iter_span
+        if handle is None:
+            return
+        self._iter_span = None
+        if status:
+            handle.set(status=status)
+        if record is not None:
+            handle.set(
+                engine=record.reach_outcome,
+                refined=record.refinement_added,
+            )
+            if record.fallbacks:
+                handle.set(fallbacks=record.fallbacks)
+        handle.__exit__(None, None, None)
 
     def _race_abstract_check(self, model: Circuit):
         """Step 2 in parallel mode: race BDD reachability against
@@ -278,6 +319,12 @@ class RFN:
             status=status,
         )
         ckpt.save(path)
+        obs.event(
+            "rfn.checkpoint",
+            path=path,
+            iteration=self._completed,
+            status=status,
+        )
         return path
 
     # ------------------------------------------------------------------
@@ -302,6 +349,9 @@ class RFN:
                 RfnStatus.FALSIFIED: "falsified",
                 RfnStatus.RESOURCE_OUT: "resource_out",
             }[status]
+            self._close_iter_span(
+                ckpt_status, iterations[-1] if iterations else None
+            )
             path = self.save_checkpoint(ckpt_status, elapsed)
             if failure is not None and not detail:
                 detail = failure.describe()
@@ -343,6 +393,7 @@ class RFN:
                 model_gates=model.num_gates,
             )
             iterations.append(record)
+            self._open_iter_span(index, model)
             self._log(
                 f"[iter {index}] abstract model: "
                 f"{model.num_registers} regs, {model.num_inputs} inputs, "
@@ -757,6 +808,7 @@ class RFN:
                         ),
                     )
             self._completed = index
+            self._close_iter_span("refined", record)
             if (
                 config.checkpoint_path is not None
                 and index % max(1, config.checkpoint_every) == 0
@@ -773,7 +825,7 @@ def rfn_verify(
     config: Optional[RfnConfig] = None,
     *,
     resume: Optional[RfnCheckpoint] = None,
-    observer: Optional[callable] = None,
+    observer: Optional[Callable[["RFN"], None]] = None,
 ) -> RfnResult:
     """Run RFN with the never-raises contract.
 
@@ -805,6 +857,9 @@ def rfn_verify(
             resource="crash",
             detail=f"{type(error).__name__}: {error}",
         )
+    # An abort escaped mid-iteration: close its span with the failure
+    # recorded, so traces stay well-formed even on contained crashes.
+    rfn._close_iter_span(f"resource_out:{failure.resource}")
     elapsed = time.monotonic() - start
     path = None
     try:

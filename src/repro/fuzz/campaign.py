@@ -26,6 +26,7 @@ from repro.fuzz.oracle import (
     run_oracle,
 )
 from repro.fuzz.shrink import save_reproducer, shrink_instance
+from repro.obs import tracer as obs
 from repro.runtime.budget import Budget
 
 
@@ -127,6 +128,18 @@ def shrink_finding(
     )
 
 
+def _close_campaign_span(
+    phase, result: CampaignResult
+) -> CampaignResult:
+    phase.set(
+        iterations=result.iterations_run,
+        mismatches=len(result.findings),
+        resource_out=result.resource_out_count,
+    )
+    phase.__exit__(None, None, None)
+    return result
+
+
 def run_campaign(
     seed: int = 0,
     iters: int = 50,
@@ -161,26 +174,32 @@ def run_campaign(
     oracle_config = oracle_config or OracleConfig()
     result = CampaignResult(seed=seed)
     start = time.monotonic()
+    phase = obs.span(
+        "fuzz.campaign", seed=seed, iters=iters, jobs=max(1, jobs)
+    )
 
     def note(message: str) -> None:
         if log is not None:
             log(message)
 
     if jobs >= 2:
-        return _run_sharded(
-            result,
-            start,
-            note,
-            seed=seed,
-            iters=iters,
-            budget_seconds=budget_seconds,
-            gen_config=gen_config,
-            oracle_config=oracle_config,
-            engines=engines,
-            corpus_dir=corpus_dir,
-            shrink=shrink,
-            instance_seconds=instance_seconds,
-            jobs=jobs,
+        return _close_campaign_span(
+            phase,
+            _run_sharded(
+                result,
+                start,
+                note,
+                seed=seed,
+                iters=iters,
+                budget_seconds=budget_seconds,
+                gen_config=gen_config,
+                oracle_config=oracle_config,
+                engines=engines,
+                corpus_dir=corpus_dir,
+                shrink=shrink,
+                instance_seconds=instance_seconds,
+                jobs=jobs,
+            ),
         )
 
     for index in range(iters):
@@ -191,6 +210,7 @@ def run_campaign(
             note(f"budget exhausted after {index} iterations")
             break
         instance_seed = seed + index
+        inst_span = obs.span("fuzz.instance", seed=instance_seed)
         instance = generate_instance(instance_seed, gen_config)
         instance_budget = (
             None
@@ -222,6 +242,8 @@ def run_campaign(
             result.verdict_counts[key] = result.verdict_counts.get(key, 0) + 1
         note(report.summary())
         if report.ok:
+            inst_span.set(ok=True)
+            inst_span.__exit__(None, None, None)
             continue
 
         finding = Finding(seed=instance_seed, report=report)
@@ -236,8 +258,10 @@ def run_campaign(
                     shrunk, corpus_dir, stem=f"fuzz{instance_seed}"
                 )
                 note(f"reproducer saved to {finding.reproducer_path}")
+        inst_span.set(ok=False)
+        inst_span.__exit__(None, None, None)
     result.seconds = time.monotonic() - start
-    return result
+    return _close_campaign_span(phase, result)
 
 
 def _run_sharded(
@@ -261,6 +285,12 @@ def _run_sharded(
     from repro.parallel.shard import SKIPPED, ShardError, shard_map
 
     def one_instance(instance_seed: int) -> dict:
+        with obs.span("fuzz.instance", seed=instance_seed) as inst_span:
+            payload = _one_instance(instance_seed)
+            inst_span.set(ok=payload["ok"])
+            return payload
+
+    def _one_instance(instance_seed: int) -> dict:
         instance = generate_instance(instance_seed, gen_config)
         instance_budget = (
             None

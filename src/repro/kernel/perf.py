@@ -34,6 +34,7 @@ class PerfCounters:
         self.phase_seconds: Dict[str, float] = {}
         self.phase_calls: Dict[str, int] = {}
         self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
 
     # -- generic named counters ----------------------------------------
 
@@ -42,6 +43,14 @@ class PerfCounters:
         ``sat.clauses_reused``, ``sat.learned_retained``,
         ``unroll.frames_appended``, ...)."""
         self.counters[name] = self.counters.get(name, 0) + count
+
+    def gauge(self, name: str, value: float, high_water: bool = True) -> None:
+        """Record a point-in-time level (live BDD nodes, solver conflicts).
+        By default keeps the high-water mark, the useful aggregate when a
+        gauge is sampled at phase boundaries."""
+        if high_water and name in self.gauges:
+            value = max(value, self.gauges[name])
+        self.gauges[name] = float(value)
 
     # -- cache accounting ----------------------------------------------
 
@@ -93,24 +102,37 @@ class PerfCounters:
         instance.  Portfolio workers reset their own ``PERF``, run, and
         ship the snapshot over the result pipe; the parent merges every
         envelope so run-level counters cover the whole pool.  Derived
-        fields (hit rates, pattern-gates/s) are recomputed, not merged."""
-        self.gate_evals += int(snapshot.get("gate_evals", 0))
-        self.pattern_gate_evals += int(snapshot.get("pattern_gate_evals", 0))
-        self.patterns_simulated += int(snapshot.get("patterns_simulated", 0))
-        self.sim_seconds += float(snapshot.get("sim_seconds", 0.0))
-        for name, value in snapshot.get("counters", {}).items():
-            self.bump(name, int(value))
-        for name, info in snapshot.get("caches", {}).items():
-            self.hit(name, int(info.get("hits", 0)))
-            self.miss(name, int(info.get("misses", 0)))
-        for name, info in snapshot.get("phases", {}).items():
+        fields (hit rates, pattern-gates/s) are recomputed, not merged.
+
+        Tolerant by contract: a snapshot from a *newer* worker may carry
+        keys this process has never heard of, or reshape a section this
+        process does not consume -- both must merge without raising.
+        Unknown top-level keys are ignored; known sections skip entries
+        whose values do not coerce."""
+        self.gate_evals += _as_int(snapshot.get("gate_evals"))
+        self.pattern_gate_evals += _as_int(snapshot.get("pattern_gate_evals"))
+        self.patterns_simulated += _as_int(snapshot.get("patterns_simulated"))
+        self.sim_seconds += _as_float(snapshot.get("sim_seconds"))
+        for name, value in _as_dict(snapshot.get("counters")).items():
+            self.bump(name, _as_int(value))
+        for name, info in _as_dict(snapshot.get("caches")).items():
+            info = _as_dict(info)
+            self.hit(name, _as_int(info.get("hits")))
+            self.miss(name, _as_int(info.get("misses")))
+        for name, info in _as_dict(snapshot.get("phases")).items():
+            info = _as_dict(info)
             self.phase_seconds[name] = (
                 self.phase_seconds.get(name, 0.0)
-                + float(info.get("seconds", 0.0))
+                + _as_float(info.get("seconds"))
             )
             self.phase_calls[name] = (
-                self.phase_calls.get(name, 0) + int(info.get("calls", 0))
+                self.phase_calls.get(name, 0) + _as_int(info.get("calls"))
             )
+        for name, value in _as_dict(snapshot.get("gauges")).items():
+            try:
+                self.gauge(name, float(value))
+            except (TypeError, ValueError):
+                continue
 
     # -- reporting -------------------------------------------------------
 
@@ -124,7 +146,7 @@ class PerfCounters:
                 "misses": misses,
                 "hit_rate": round(self.hit_rate(name), 4),
             }
-        return {
+        snap: Dict[str, object] = {
             "gate_evals": self.gate_evals,
             "pattern_gate_evals": self.pattern_gate_evals,
             "patterns_simulated": self.patterns_simulated,
@@ -140,6 +162,12 @@ class PerfCounters:
                 for name in sorted(self.phase_seconds)
             },
         }
+        if self.gauges:
+            snap["gauges"] = {
+                name: round(self.gauges[name], 6)
+                for name in sorted(self.gauges)
+            }
+        return snap
 
     def format(self) -> str:
         snap = self.snapshot()
@@ -168,7 +196,31 @@ class PerfCounters:
                     f"    {name}: {info['seconds']}s over "
                     f"{info['calls']} calls"
                 )
+        # Only present when gauges exist, so pre-gauge output stays
+        # byte-identical.
+        if snap.get("gauges"):
+            lines.append("  gauges:")
+            for name, value in snap["gauges"].items():
+                lines.append(f"    {name}: {value:g}")
         return "\n".join(lines)
+
+
+def _as_int(value: object) -> int:
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0
+
+
+def _as_float(value: object) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _as_dict(value: object) -> Dict[str, object]:
+    return value if isinstance(value, dict) else {}
 
 
 PERF = PerfCounters()

@@ -48,6 +48,7 @@ from repro.core.property import UnreachabilityProperty
 from repro.kernel.scache import solver_session
 from repro.netlist.circuit import Circuit
 from repro.netlist.ops import coi_registers, extract_subcircuit
+from repro.obs import tracer as obs
 from repro.sat.solver import SatStatus, Solver
 from repro.trace import Trace
 
@@ -347,6 +348,44 @@ def bmc(
     counterexample so both modes return the identical trace (used by the
     equivalence tests; costs one SAT call per free variable).
     """
+    with obs.span(
+        "mc.bmc",
+        max_depth=max_depth,
+        induction=induction,
+        incremental=incremental,
+    ) as phase:
+        result = _bmc_run(
+            circuit,
+            prop,
+            max_depth=max_depth,
+            max_conflicts=max_conflicts,
+            induction=induction,
+            unique_states=unique_states,
+            use_coi=use_coi,
+            max_seconds=max_seconds,
+            budget=budget,
+            incremental=incremental,
+            canonical_trace=canonical_trace,
+        )
+        phase.set(result=result.outcome.value, depth=result.depth)
+        if result.induction_depth is not None:
+            phase.set(induction_depth=result.induction_depth)
+        return result
+
+
+def _bmc_run(
+    circuit: Circuit,
+    prop: UnreachabilityProperty,
+    max_depth: int = 32,
+    max_conflicts: Optional[int] = 200_000,
+    induction: bool = True,
+    unique_states: bool = False,
+    use_coi: bool = True,
+    max_seconds: Optional[float] = None,
+    budget=None,
+    incremental: bool = True,
+    canonical_trace: bool = False,
+) -> BmcResult:
     start = time.monotonic()
     deadline = (
         None if max_seconds is None else start + max_seconds

@@ -25,7 +25,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.bdd import Function
+from repro.kernel.perf import PERF
 from repro.mc.images import ImageComputer
+from repro.obs import tracer as obs
 from repro.runtime.abort import EngineAbort
 from repro.runtime.budget import Budget
 
@@ -83,6 +85,7 @@ def forward_reach(
     frontier = init
     rings: List[Function] = [init]
     iteration = 0
+    phase = obs.span("mc.reach", registers=len(images.encoding.circuit.registers))
 
     # A hard allocation ceiling turns a blowup *inside* one image step
     # into a clean RESOURCE_OUT (the soft per-step check only runs between
@@ -112,6 +115,15 @@ def forward_reach(
     ):
         bdd.node_limit = saved_node_limit
         bdd.checkpoint_hook = saved_hook
+        PERF.gauge("bdd.nodes", bdd.total_nodes())
+        phase.set(
+            result=outcome.value,
+            iterations=iteration,
+            nodes=bdd.total_nodes(),
+        )
+        if resource is not None:
+            phase.set(resource=resource)
+        phase.__exit__(None, None, None)
         return ReachResult(
             outcome=outcome,
             reached=reached,

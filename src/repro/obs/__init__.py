@@ -1,0 +1,34 @@
+"""repro.obs -- span tracing, structured event log, exporters.
+
+See DESIGN.md §12 for the span model and JSONL schema.
+"""
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    SpanHandle,
+    TRACER,
+    Tracer,
+    event,
+    span,
+)
+from repro.obs.schema import load_records, validate_file, validate_records
+from repro.obs.export import to_chrome, to_chrome_json, to_folded
+from repro.obs.report import render_report
+
+__all__ = [
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "SpanHandle",
+    "TRACER",
+    "Tracer",
+    "event",
+    "span",
+    "load_records",
+    "validate_file",
+    "validate_records",
+    "to_chrome",
+    "to_chrome_json",
+    "to_folded",
+    "render_report",
+]

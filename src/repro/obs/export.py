@@ -1,0 +1,135 @@
+"""Trace exporters: Chrome/Perfetto timeline JSON and folded stacks.
+
+Both exporters work on the parsed record list (see
+:mod:`repro.obs.schema`), not the live tracer, so they apply equally to
+a JSONL file on disk or an in-memory ring.  Records are sorted by
+timestamp internally -- JSONL arrival order is *not* time order once
+worker buffers are absorbed after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+def _spans(records: List[dict]) -> List[dict]:
+    spans = [r for r in records if r.get("type") == "span"]
+    spans.sort(key=lambda r: (r.get("ts", 0.0), -r.get("dur", 0.0)))
+    return spans
+
+
+def _base_ts(records: List[dict]) -> float:
+    stamps = [
+        r["ts"]
+        for r in records
+        if isinstance(r.get("ts"), (int, float))
+    ]
+    return min(stamps) if stamps else 0.0
+
+
+def to_chrome(records: List[dict]) -> dict:
+    """Render records as a Chrome ``chrome://tracing`` / Perfetto JSON
+    object (``traceEvents`` array of ``ph:"X"`` complete events plus
+    ``ph:"i"`` instants, microsecond timestamps normalized to the
+    earliest record)."""
+    base = _base_ts(records)
+    events: List[dict] = []
+    seen_pids: Dict[int, bool] = {}
+
+    for record in _spans(records):
+        pid = record.get("pid", 0)
+        seen_pids.setdefault(pid, True)
+        args = dict(record.get("attrs") or {})
+        args["outcome"] = record.get("outcome", "ok")
+        events.append(
+            {
+                "name": record.get("name", "?"),
+                "ph": "X",
+                "ts": round((record.get("ts", base) - base) * 1e6, 3),
+                "dur": round(record.get("dur", 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": record.get("tid", 0),
+                "cat": record.get("name", "?").split(".")[0],
+                "args": args,
+            }
+        )
+
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        pid = record.get("pid", 0)
+        seen_pids.setdefault(pid, True)
+        events.append(
+            {
+                "name": record.get("name", "?"),
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": round((record.get("ts", base) - base) * 1e6, 3),
+                "pid": pid,
+                "tid": record.get("tid", 0),
+                "cat": record.get("name", "?").split(".")[0],
+                "args": dict(record.get("attrs") or {}),
+            }
+        )
+
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    root_pid = meta.get("pid") if meta else None
+    for pid in sorted(seen_pids):
+        label = "parent" if pid == root_pid else "worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{label} {pid}"},
+            }
+        )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_chrome_json(records: List[dict]) -> str:
+    return json.dumps(to_chrome(records), indent=1)
+
+
+def to_folded(records: List[dict]) -> List[str]:
+    """Render spans as folded-stack lines (``a;b;c <self_us>``), the
+    input format of flamegraph tooling.  Self time is a span's duration
+    minus the sum of its direct children's durations; stacks are
+    reconstructed from parent pointers."""
+    spans = _spans(records)
+    by_id = {r["id"]: r for r in spans if isinstance(r.get("id"), str)}
+    child_time: Dict[str, float] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + record.get(
+                "dur", 0.0
+            )
+
+    def stack_of(record: dict) -> Optional[str]:
+        names = []
+        cursor: Optional[dict] = record
+        hops = 0
+        while cursor is not None:
+            names.append(cursor.get("name", "?"))
+            parent = cursor.get("parent")
+            cursor = by_id.get(parent) if parent is not None else None
+            hops += 1
+            if hops > 512:  # cyclic parent pointers in a corrupt trace
+                return None
+        return ";".join(reversed(names))
+
+    folded: Dict[str, int] = {}
+    for record in spans:
+        stack = stack_of(record)
+        if stack is None:
+            continue
+        span_id = record.get("id")
+        self_seconds = record.get("dur", 0.0) - child_time.get(span_id, 0.0)
+        self_us = max(0, int(round(self_seconds * 1e6)))
+        folded[stack] = folded.get(stack, 0) + self_us
+
+    return [f"{stack} {value}" for stack, value in sorted(folded.items())]

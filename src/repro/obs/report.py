@@ -1,0 +1,212 @@
+"""Human-readable run reports rendered from a trace.
+
+``render_report`` inspects the record list and emits:
+
+- an RFN per-iteration table (iteration, winning engine, per-step
+  outcome, wall time, refinement size) built from ``rfn.iteration``
+  spans and their nested ``step.*`` / ``portfolio.*`` children;
+- a fuzz campaign rollup (instances, mismatches, resource-outs, shard
+  lanes) from ``fuzz.*`` spans;
+- a counters summary from the final metrics snapshot;
+- an abort/retry digest from supervisor events.
+
+Everything degrades gracefully: a trace without RFN spans simply has no
+RFN section, and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _spans(records: List[dict], name: Optional[str] = None) -> List[dict]:
+    spans = [
+        r
+        for r in records
+        if r.get("type") == "span" and (name is None or r.get("name") == name)
+    ]
+    spans.sort(key=lambda r: (r.get("ts", 0.0), -r.get("dur", 0.0)))
+    return spans
+
+
+def _events(records: List[dict], name: str) -> List[dict]:
+    return [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") == name
+    ]
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def _rfn_section(records: List[dict]) -> List[str]:
+    iterations = _spans(records, "rfn.iteration")
+    if not iterations:
+        return []
+    by_parent: Dict[str, List[dict]] = {}
+    for record in _spans(records):
+        parent = record.get("parent")
+        if parent is not None:
+            by_parent.setdefault(parent, []).append(record)
+
+    rows: List[List[str]] = []
+    for span in iterations:
+        attrs = span.get("attrs") or {}
+        children = by_parent.get(span.get("id"), [])
+        steps = ",".join(
+            f"{c['name'].split('.', 1)[-1]}:{c.get('outcome', '?')}"
+            for c in children
+            if c.get("name", "").startswith(("step.", "portfolio."))
+        )
+        rows.append(
+            [
+                str(attrs.get("iter", "?")),
+                str(attrs.get("engine", attrs.get("status", "-"))),
+                str(attrs.get("status", span.get("outcome", "?"))),
+                f"{span.get('dur', 0.0):.3f}s",
+                str(attrs.get("refined", "-")),
+                steps or "-",
+            ]
+        )
+    lines = ["RFN iterations", ""]
+    lines.extend(
+        _table(
+            ["iter", "engine", "status", "time", "refined", "steps"], rows
+        )
+    )
+    return lines
+
+
+def _fuzz_section(records: List[dict]) -> List[str]:
+    instances = _spans(records, "fuzz.instance")
+    campaigns = _spans(records, "fuzz.campaign")
+    if not instances and not campaigns:
+        return []
+    lines = ["Fuzz campaign", ""]
+    if campaigns:
+        attrs = campaigns[-1].get("attrs") or {}
+        lines.append(
+            f"  iterations={attrs.get('iterations', '?')} "
+            f"mismatches={attrs.get('mismatches', '?')} "
+            f"resource_out={attrs.get('resource_out', '?')} "
+            f"jobs={attrs.get('jobs', 1)} "
+            f"wall={campaigns[-1].get('dur', 0.0):.2f}s"
+        )
+    if instances:
+        pids = sorted({r.get("pid") for r in instances})
+        bad = [r for r in instances if r.get("outcome") != "ok"]
+        mean = sum(r.get("dur", 0.0) for r in instances) / len(instances)
+        lines.append(
+            f"  instances={len(instances)} lanes={len(pids)} "
+            f"non-ok={len(bad)} mean={mean * 1e3:.1f}ms"
+        )
+    return lines
+
+
+def _supervisor_section(records: List[dict]) -> List[str]:
+    contained = _events(records, "supervisor.contained")
+    fallbacks = _events(records, "supervisor.fallback")
+    if not contained and not fallbacks:
+        return []
+    lines = ["Supervisor activity", ""]
+    for event in contained:
+        attrs = event.get("attrs") or {}
+        lines.append(
+            f"  contained {attrs.get('engine', '?')} attempt "
+            f"{attrs.get('attempt', '?')}: "
+            f"{attrs.get('resource', attrs.get('kind', '?'))} "
+            f"({attrs.get('detail', '')})".rstrip()
+        )
+    for event in fallbacks:
+        attrs = event.get("attrs") or {}
+        lines.append(
+            f"  fallback {attrs.get('engine', '?')} -> "
+            f"{attrs.get('fallback', '?')}"
+        )
+    return lines
+
+
+def _counters_section(records: List[dict]) -> List[str]:
+    snapshots = [r for r in records if r.get("type") == "counters"]
+    if not snapshots:
+        return []
+    final = snapshots[-1].get("counters") or {}
+    lines = ["Counters (final snapshot)", ""]
+    for key in (
+        "gate_evals",
+        "pattern_gate_evals",
+        "patterns_simulated",
+        "sim_seconds",
+    ):
+        if key in final:
+            value = final[key]
+            shown = f"{value:.3f}" if isinstance(value, float) else f"{value}"
+            lines.append(f"  {key}: {shown}")
+    hits = final.get("cache_hits") or {}
+    misses = final.get("cache_misses") or {}
+    for cache in sorted(set(hits) | set(misses)):
+        h, m = hits.get(cache, 0), misses.get(cache, 0)
+        total = h + m
+        rate = (100.0 * h / total) if total else 0.0
+        lines.append(f"  cache {cache}: {h}/{total} hits ({rate:.1f}%)")
+    gauges = final.get("gauges") or {}
+    for name in sorted(gauges):
+        lines.append(f"  gauge {name}: {gauges[name]:g}")
+    extra = final.get("counters") or {}
+    for name in sorted(extra):
+        lines.append(f"  {name}: {extra[name]}")
+    return lines
+
+
+def _lanes_section(records: List[dict]) -> List[str]:
+    spans = _spans(records)
+    if not spans:
+        return []
+    pids = sorted({r.get("pid") for r in spans})
+    if len(pids) <= 1:
+        return []
+    lines = ["Worker lanes", ""]
+    for pid in pids:
+        lane = [r for r in spans if r.get("pid") == pid]
+        names = sorted({r.get("name", "?") for r in lane})
+        busy = sum(
+            r.get("dur", 0.0) for r in lane if r.get("parent") is None
+        )
+        lines.append(
+            f"  pid {pid}: {len(lane)} spans, {busy:.2f}s top-level, "
+            f"[{', '.join(names[:6])}{', ...' if len(names) > 6 else ''}]"
+        )
+    return lines
+
+
+def render_report(records: List[dict]) -> str:
+    """Render the full report for a record list (see module docstring)."""
+    sections = [
+        section
+        for section in (
+            _rfn_section(records),
+            _fuzz_section(records),
+            _lanes_section(records),
+            _supervisor_section(records),
+            _counters_section(records),
+        )
+        if section
+    ]
+    if not sections:
+        return "trace contains no reportable spans\n"
+    out: List[str] = []
+    for section in sections:
+        if out:
+            out.append("")
+        out.extend(section)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,203 @@
+"""Schema for the JSONL structured event log, plus a validator.
+
+Version 1 record types (one JSON object per line):
+
+``meta``
+    First line of every log.  ``{"type": "meta", "version": 1,
+    "clock": "monotonic", "ts": float, "pid": int, "created": float}``.
+    ``created`` is ``time.time()`` (epoch seconds) so post-hoc tooling
+    can anchor the monotonic timeline to a wall clock.
+
+``span``
+    A closed (or force-closed) timing span.  Required keys: ``name``
+    (str), ``ts`` (float, monotonic start), ``dur`` (float, seconds,
+    >= 0), ``pid``/``tid`` (int), ``id`` (str), ``parent`` (str or
+    null), ``outcome`` (str), ``attrs`` (object).  ``outcome`` is one
+    of ``ok``, ``cancelled``, ``unclosed``, ``abort:<resource>``, or
+    ``error:<ExceptionType>``.
+
+``event``
+    A point-in-time occurrence.  Required keys: ``name``, ``ts``,
+    ``pid``, ``tid``, ``parent`` (str or null), ``attrs``.
+
+``counters``
+    A metrics-registry snapshot (``PERF.snapshot()``).  Required keys:
+    ``ts``, ``pid``, ``counters`` (object).
+
+Versioning rules: readers accept any log whose major ``version`` they
+know, *ignoring* unknown record types and unknown keys (the same
+tolerance `PERF.merge` extends to newer workers).  Producers bump
+``SCHEMA_VERSION`` only when an existing key changes meaning.
+
+``validate_records``/``validate_file`` return a list of human-readable
+problems (empty == valid).  Beyond per-record shape they check trace
+invariants: a leading meta record, unique span ids, parent references
+that resolve, no ``unclosed`` spans, and spans *well-nested per
+(pid, tid) lane* -- within a lane, any two spans either nest or are
+disjoint (a small epsilon absorbs float rounding at shared edges).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.tracer import SCHEMA_VERSION
+
+#: Tolerance (seconds) for shared span edges in the nesting check.
+_EPSILON = 1e-6
+
+_SPAN_KEYS = {
+    "name": str,
+    "ts": (int, float),
+    "dur": (int, float),
+    "pid": int,
+    "tid": int,
+    "id": str,
+    "outcome": str,
+    "attrs": dict,
+}
+_EVENT_KEYS = {
+    "name": str,
+    "ts": (int, float),
+    "pid": int,
+    "tid": int,
+    "attrs": dict,
+}
+_COUNTER_KEYS = {"ts": (int, float), "pid": int, "counters": dict}
+
+
+def _check_keys(record: dict, spec: dict, where: str) -> List[str]:
+    problems = []
+    for key, types in spec.items():
+        if key not in record:
+            problems.append(f"{where}: missing key {key!r}")
+        elif not isinstance(record[key], types):
+            problems.append(
+                f"{where}: key {key!r} has type "
+                f"{type(record[key]).__name__}"
+            )
+    return problems
+
+
+def validate_records(records: List[dict]) -> List[str]:
+    """Validate a parsed record list; return problems (empty == valid)."""
+    problems: List[str] = []
+    if not records:
+        return ["empty trace"]
+
+    head = records[0]
+    if head.get("type") != "meta":
+        problems.append("line 1: first record is not a meta header")
+    else:
+        version = head.get("version")
+        if version != SCHEMA_VERSION:
+            problems.append(
+                f"line 1: unsupported schema version {version!r} "
+                f"(supported: {SCHEMA_VERSION})"
+            )
+
+    spans: Dict[str, dict] = {}
+    for number, record in enumerate(records, start=1):
+        where = f"line {number}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: record is not an object")
+            continue
+        kind = record.get("type")
+        if kind == "span":
+            problems.extend(_check_keys(record, _SPAN_KEYS, where))
+            span_id = record.get("id")
+            if isinstance(span_id, str):
+                if span_id in spans:
+                    problems.append(f"{where}: duplicate span id {span_id}")
+                else:
+                    spans[span_id] = record
+            dur = record.get("dur")
+            if isinstance(dur, (int, float)) and dur < 0:
+                problems.append(f"{where}: negative duration {dur}")
+            if record.get("outcome") == "unclosed":
+                problems.append(
+                    f"{where}: unclosed span {record.get('name')!r}"
+                )
+        elif kind == "event":
+            problems.extend(_check_keys(record, _EVENT_KEYS, where))
+        elif kind == "counters":
+            problems.extend(_check_keys(record, _COUNTER_KEYS, where))
+        elif kind == "meta":
+            if number != 1:
+                problems.append(f"{where}: stray meta record")
+        # Unknown types are ignored by contract (forward compatibility).
+
+    # Parent references resolve to known spans.
+    for span_id, record in spans.items():
+        parent = record.get("parent")
+        if parent is not None and parent not in spans:
+            problems.append(
+                f"span {span_id}: parent {parent!r} not in trace"
+            )
+
+    problems.extend(_check_nesting(spans))
+    return problems
+
+
+def _check_nesting(spans: Dict[str, dict]) -> List[str]:
+    """Spans must be well-nested within each (pid, tid) lane."""
+    problems: List[str] = []
+    lanes: Dict[Tuple[int, int], List[dict]] = {}
+    for record in spans.values():
+        ts, dur = record.get("ts"), record.get("dur")
+        pid, tid = record.get("pid"), record.get("tid")
+        if not all(
+            isinstance(v, (int, float)) for v in (ts, dur)
+        ) or not all(isinstance(v, int) for v in (pid, tid)):
+            continue  # shape problems already reported
+        lanes.setdefault((pid, tid), []).append(record)
+
+    for (pid, tid), lane in lanes.items():
+        # Earlier start first; at equal starts the longer (outer) span
+        # first, so the stack discipline below sees parents before
+        # children.
+        lane.sort(key=lambda r: (r["ts"], -r["dur"]))
+        stack: List[dict] = []  # open spans, by end time
+        for record in lane:
+            start, end = record["ts"], record["ts"] + record["dur"]
+            while stack and start >= stack[-1]["ts"] + stack[-1]["dur"] - _EPSILON:
+                stack.pop()
+            if stack:
+                outer_end = stack[-1]["ts"] + stack[-1]["dur"]
+                if end > outer_end + _EPSILON:
+                    problems.append(
+                        f"lane pid={pid} tid={tid}: span "
+                        f"{record['id']} ({record['name']!r}) overlaps "
+                        f"{stack[-1]['id']} ({stack[-1]['name']!r}) "
+                        "without nesting"
+                    )
+                    continue
+            stack.append(record)
+    return problems
+
+
+def load_records(path: str) -> List[dict]:
+    """Parse a JSONL trace file (raises ValueError on malformed JSON)."""
+    records: List[dict] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: malformed JSON ({error})"
+                ) from error
+    return records
+
+
+def validate_file(path: str) -> List[str]:
+    """Load + validate a JSONL trace; file-level problems included."""
+    try:
+        records = load_records(path)
+    except (OSError, ValueError) as error:
+        return [str(error)]
+    return validate_records(records)

@@ -1,0 +1,356 @@
+"""The span tracer: nested timing spans, structured events, and the
+in-memory ring every run can afford.
+
+One process-global :class:`Tracer` (``TRACER``) collects *records* --
+plain JSON-able dicts -- into a bounded ring and, when a sink path is
+attached, appends them to a schema-versioned JSONL event log (see
+:mod:`repro.obs.schema`).  The API is built so the disabled state costs
+one attribute read per call site:
+
+- :func:`span` is a context manager recording wall-clock start/duration,
+  outcome (``ok`` / ``abort:<resource>`` / ``error:<Type>``) and
+  arbitrary attributes.  Spans nest per thread; each record carries its
+  parent's id, so exporters can rebuild the stack.
+- :func:`event` records a point-in-time occurrence (log lines, budget
+  spend crossings, supervisor containments, checkpoint writes).
+- :meth:`Tracer.counters` snapshots the process-global
+  :data:`repro.kernel.perf.PERF` registry into the trace, making the
+  perf counters the *metrics backend* of the observability layer rather
+  than a parallel system.
+
+Cross-process stitching: a forked worker calls :meth:`Tracer.fork_child`
+(drop the inherited sink, clear the inherited ring, re-key span ids to
+the child pid), runs normally, and ships :meth:`Tracer.drain` home in
+its result envelope.  The parent folds those records in with
+:meth:`Tracer.absorb`; all timestamps are ``time.monotonic()``, which is
+process-shared on the platforms that can fork, so one stitched timeline
+needs no clock translation.
+
+Everything here is off the hot path by construction: spans wrap *phases*
+(a CEGAR iteration, a reachability run, one SAT engine call), never
+per-gate or per-clause work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.kernel.perf import PERF
+
+#: Version of the JSONL event-log schema (see repro.obs.schema for the
+#: compatibility rules).
+SCHEMA_VERSION = 1
+
+#: Default ring capacity (records, not bytes).
+RING_CAPACITY = 65536
+
+
+class SpanHandle:
+    """One open span.  ``set(**attrs)`` adds attributes before close."""
+
+    __slots__ = ("_tracer", "name", "ts", "attrs", "id", "parent", "_closed")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: str,
+        parent: Optional[str],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.id = span_id
+        self.parent = parent
+        self.ts = time.monotonic()
+        self._closed = False
+
+    def set(self, **attrs: Any) -> "SpanHandle":
+        self.attrs.update(attrs)
+        return self
+
+    # -- context manager -----------------------------------------------
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is None:
+            outcome = self.attrs.pop("outcome", "ok")
+        else:
+            resource = getattr(exc, "resource", None)
+            outcome = (
+                f"abort:{resource}"
+                if resource is not None
+                else f"error:{type(exc).__name__}"
+            )
+        self._tracer._close_span(self, outcome)
+        return False  # never swallow
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SpanHandle({self.name!r}, id={self.id})"
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def set(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-global span/event collector (see module docstring)."""
+
+    def __init__(self, capacity: int = RING_CAPACITY) -> None:
+        self.enabled = False
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+        self._sink = None
+        self.sink_path: Optional[str] = None
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._next_id = 0
+        #: ids of spans opened but not yet closed (unclosed-span audit)
+        self._open: Dict[str, SpanHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self, path: Optional[str] = None) -> None:
+        """Start recording; with ``path``, mirror records to a JSONL log."""
+        self.close()
+        self._ring.clear()
+        self._open.clear()
+        self._pid = os.getpid()
+        self._next_id = 0
+        self.enabled = True
+        if path is not None:
+            self._sink = open(path, "w")
+            self.sink_path = path
+        self._emit(
+            {
+                "type": "meta",
+                "version": SCHEMA_VERSION,
+                "clock": "monotonic",
+                "ts": time.monotonic(),
+                "pid": self._pid,
+                "created": time.time(),
+            }
+        )
+
+    def close(self) -> None:
+        """Force-close any open spans (flagged ``unclosed``), write a
+        final counters snapshot, flush and detach the sink, disable."""
+        if not self.enabled:
+            return
+        with self._lock:
+            leaked = list(self._open.values())
+            self._open.clear()
+        for handle in leaked:
+            handle._closed = True
+            self._emit(self._span_record(handle, "unclosed"))
+        self.counters()
+        self.enabled = False
+        sink = self._sink
+        self._sink = None
+        self.sink_path = None
+        if sink is not None:
+            sink.close()
+        # Reset per-thread stacks so a re-enable starts clean.
+        self._local = threading.local()
+
+    def fork_child(self) -> None:
+        """Called at the top of a forked worker: drop the inherited sink
+        (the parent owns the fd; records go home via :meth:`drain`),
+        clear inherited records/stacks, and re-key ids to this pid."""
+        self._sink = None
+        self.sink_path = None
+        self._ring.clear()
+        self._open.clear()
+        self._local = threading.local()
+        self._pid = os.getpid()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> List[SpanHandle]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _emit(self, record: dict) -> None:
+        with self._lock:
+            self._ring.append(record)
+            if self._sink is not None:
+                self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+                # Flush per record: a forked child inherits an empty
+                # file-object buffer, so dropping the handle there can
+                # never replay parent bytes.
+                self._sink.flush()
+
+    def start(self, name: str, attrs: Dict[str, Any]) -> SpanHandle:
+        """Open a span (prefer the module-level :func:`span` helper)."""
+        stack = self._stack()
+        parent = stack[-1].id if stack else None
+        with self._lock:
+            self._next_id += 1
+            span_id = f"{self._pid}-{self._next_id}"
+        handle = SpanHandle(self, name, attrs, span_id, parent)
+        stack.append(handle)
+        with self._lock:
+            self._open[span_id] = handle
+        return handle
+
+    def _span_record(self, handle: SpanHandle, outcome: str) -> dict:
+        return {
+            "type": "span",
+            "name": handle.name,
+            "ts": handle.ts,
+            "dur": max(0.0, time.monotonic() - handle.ts),
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "id": handle.id,
+            "parent": handle.parent,
+            "outcome": outcome,
+            "attrs": handle.attrs,
+        }
+
+    def _close_span(self, handle: SpanHandle, outcome: str) -> None:
+        if handle._closed:
+            return
+        handle._closed = True
+        stack = self._stack()
+        if handle in stack:
+            # Pop through to this handle; anything above it failed to
+            # close (non-context-manager misuse) and is flagged.
+            while stack:
+                top = stack.pop()
+                if top is handle:
+                    break
+                top._closed = True
+                self._open.pop(top.id, None)
+                self._emit(self._span_record(top, "unclosed"))
+        self._open.pop(handle.id, None)
+        self._emit(self._span_record(handle, outcome))
+
+    def event(self, name: str, attrs: Dict[str, Any]) -> None:
+        stack = self._stack()
+        self._emit(
+            {
+                "type": "event",
+                "name": name,
+                "ts": time.monotonic(),
+                "pid": self._pid,
+                "tid": threading.get_ident(),
+                "parent": stack[-1].id if stack else None,
+                "attrs": attrs,
+            }
+        )
+
+    def counters(self) -> None:
+        """Snapshot the process-global perf registry into the trace."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "type": "counters",
+                "ts": time.monotonic(),
+                "pid": self._pid,
+                "counters": PERF.snapshot(),
+            }
+        )
+
+    def record_span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        pid: Optional[int] = None,
+        outcome: str = "ok",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a *synthesized* span -- one observed from outside its
+        process (the parent's view of a portfolio worker's lifetime,
+        including workers cancelled before they could report)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._next_id += 1
+            span_id = f"{self._pid}-{self._next_id}"
+        self._emit(
+            {
+                "type": "span",
+                "name": name,
+                "ts": ts,
+                "dur": max(0.0, dur),
+                "pid": self._pid if pid is None else pid,
+                "tid": 0,
+                "id": span_id,
+                "parent": None,
+                "outcome": outcome,
+                "attrs": dict(attrs or {}),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-process stitching
+    # ------------------------------------------------------------------
+
+    def drain(self) -> List[dict]:
+        """Return and clear the buffered records (worker side)."""
+        with self._lock:
+            records = list(self._ring)
+            self._ring.clear()
+        return records
+
+    def absorb(self, records: Iterable[dict]) -> None:
+        """Fold a worker's drained records into this trace (parent side).
+        Meta records are dropped -- the stitched trace has one header."""
+        if not self.enabled:
+            return
+        for record in records:
+            if isinstance(record, dict) and record.get("type") != "meta":
+                self._emit(record)
+
+    def records(self) -> List[dict]:
+        with self._lock:
+            return list(self._ring)
+
+
+#: The process-global tracer every engine instruments against.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: Any):
+    """Open a nested span when tracing is on; free no-op otherwise."""
+    if not TRACER.enabled:
+        return NULL_SPAN
+    return TRACER.start(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a structured event when tracing is on."""
+    if TRACER.enabled:
+        TRACER.event(name, attrs)

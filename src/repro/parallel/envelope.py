@@ -21,7 +21,7 @@ checkable rather than aspirational.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.runtime.budget import Budget
 from repro.runtime.supervisor import AbortInfo
@@ -101,6 +101,11 @@ class WorkerEnvelope:
     #: ``PERF.snapshot()`` of the worker process (empty for in-process
     #: sequential runs, whose counters land in the parent directly)
     perf: Dict[str, object] = field(default_factory=dict)
+    #: the worker's drained obs trace records (``TRACER.drain()``);
+    #: empty for in-process runs, whose spans land in the parent's
+    #: tracer directly.  The parent absorbs these into the stitched
+    #: trace next to its own spans (per-pid lanes keep them apart).
+    obs: List[dict] = field(default_factory=list)
     rss_mb: Optional[float] = None
     pid: Optional[int] = None
 

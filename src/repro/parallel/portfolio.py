@@ -41,6 +41,7 @@ from repro.core.property import UnreachabilityProperty
 from repro.kernel.perf import PERF
 from repro.mc.bmc import BmcOutcome, bmc
 from repro.netlist.circuit import Circuit
+from repro.obs import tracer as obs
 from repro.parallel.envelope import (
     ERROR,
     UNKNOWN,
@@ -178,6 +179,14 @@ def race(
     result = PortfolioResult(
         verdict=UNKNOWN, jobs=max(1, jobs), strategies=strategies
     )
+    race_span = obs.span(
+        "portfolio.race", jobs=max(1, jobs), strategies=",".join(strategies)
+    )
+
+    def finish_race(outcome: PortfolioResult) -> PortfolioResult:
+        race_span.set(verdict=outcome.verdict, winner=outcome.winner)
+        race_span.__exit__(None, None, None)
+        return outcome
 
     def note(message: str) -> None:
         if log is not None:
@@ -205,10 +214,12 @@ def race(
             if envelope.definite:
                 winning = envelope
                 break
-        return _finish(result, circuit, prop, winning, canonicalize, start)
+        return finish_race(
+            _finish(result, circuit, prop, winning, canonicalize, start)
+        )
 
     pending = list(strategies)
-    running = {}  # conn -> (process, strategy)
+    running = {}  # conn -> (process, strategy, launch instant)
     winning: Optional[WorkerEnvelope] = None
 
     def launch(strategy: str) -> None:
@@ -221,8 +232,24 @@ def race(
         )
         proc.start()
         child_conn.close()  # the child owns its end now
-        running[parent_conn] = (proc, strategy)
+        running[parent_conn] = (proc, strategy, time.monotonic())
         note(f"[portfolio] worker {proc.pid} racing {strategy}")
+
+    def note_worker_span(
+        proc, strategy: str, launched: float, outcome: str
+    ) -> None:
+        # The parent's view of the worker's lifetime, attributed to the
+        # worker's pid lane.  This also covers *cancelled* workers, whose
+        # own span buffers die with them -- guaranteeing the stitched
+        # trace shows every lane that raced.
+        obs.TRACER.record_span(
+            "portfolio.worker",
+            ts=launched,
+            dur=time.monotonic() - launched,
+            pid=proc.pid,
+            outcome=outcome,
+            attrs={"strategy": strategy},
+        )
 
     try:
         while pending and len(running) < jobs:
@@ -232,7 +259,7 @@ def race(
                 list(running), timeout=poll_seconds
             )
             for conn in ready:
-                proc, strategy = running.pop(conn)
+                proc, strategy, launched = running.pop(conn)
                 try:
                     envelope = conn.recv()
                 except (EOFError, OSError):
@@ -254,6 +281,11 @@ def race(
                 result.envelopes.append(envelope)
                 if envelope.perf:
                     PERF.merge(envelope.perf)
+                if obs.TRACER.enabled:
+                    obs.TRACER.absorb(envelope.obs)
+                    note_worker_span(
+                        proc, strategy, launched, envelope.verdict
+                    )
                 note(
                     f"[portfolio] {strategy}: {envelope.verdict} "
                     f"({envelope.detail}) in {envelope.seconds:.2f}s"
@@ -266,7 +298,7 @@ def race(
                 note("[portfolio] parent budget expired; cancelling race")
                 break
     finally:
-        for conn, (proc, strategy) in list(running.items()):
+        for conn, (proc, strategy, launched) in list(running.items()):
             if proc.is_alive():
                 proc.terminate()
             proc.join(timeout=5.0)
@@ -274,10 +306,14 @@ def race(
                 proc.kill()
                 proc.join(timeout=5.0)
             conn.close()
+            if obs.TRACER.enabled:
+                note_worker_span(proc, strategy, launched, "cancelled")
         running.clear()
 
     # Keep the reported envelope order deterministic (strategy order,
     # not completion order).
     order = {name: i for i, name in enumerate(strategies)}
     result.envelopes.sort(key=lambda e: order.get(e.strategy, len(order)))
-    return _finish(result, circuit, prop, winning, canonicalize, start)
+    return finish_race(
+        _finish(result, circuit, prop, winning, canonicalize, start)
+    )

@@ -27,6 +27,8 @@ import time
 import traceback
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs import tracer as obs
+
 
 class ShardError(RuntimeError):
     """An item's worker raised (or died); carries the child traceback."""
@@ -37,13 +39,26 @@ SKIPPED = "skipped"
 
 
 def _child_main(conn, fn, item) -> None:
+    obs.TRACER.fork_child()
+
+    def trace_records() -> list:
+        return obs.TRACER.drain() if obs.TRACER.enabled else []
+
     try:
-        conn.send(("ok", fn(item)))
+        with obs.span("shard.item"):
+            value = fn(item)
+        conn.send(("ok", value, trace_records()))
     except Exception as error:
         try:
-            conn.send(("error", f"{error}\n{traceback.format_exc()}"))
+            conn.send(
+                (
+                    "error",
+                    f"{error}\n{traceback.format_exc()}",
+                    trace_records(),
+                )
+            )
         except Exception:  # unpicklable error detail: ship text only
-            conn.send(("error", traceback.format_exc()))
+            conn.send(("error", traceback.format_exc(), trace_records()))
     finally:
         conn.close()
 
@@ -119,7 +134,10 @@ def shard_map(
             for conn in ready:
                 proc, index = running.pop(conn)
                 try:
-                    status, payload = conn.recv()
+                    message = conn.recv()
+                    status, payload = message[0], message[1]
+                    if len(message) > 2:
+                        obs.TRACER.absorb(message[2])
                 except (EOFError, OSError):
                     proc.join()  # exitcode is only valid after the join
                     status, payload = "error", (

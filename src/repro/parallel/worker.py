@@ -37,6 +37,7 @@ from repro.mc.images import ImageComputer
 from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
 from repro.netlist.circuit import Circuit
 from repro.netlist.ops import coi_registers, extract_subcircuit
+from repro.obs import tracer as obs
 from repro.parallel.envelope import (
     ERROR,
     FALSIFIED,
@@ -198,27 +199,29 @@ def run_strategy(
     an in-process supervised step."""
     envelope = WorkerEnvelope(strategy=strategy)
     start = time.perf_counter()
-    try:
-        if chaos is not None:
-            chaos.before(strategy)
-        verdict, trace, detail = STRATEGIES[strategy](circuit, prop, budget)
-        if chaos is not None:
-            mangled = chaos.mangle(strategy, verdict)
-            if isinstance(mangled, Garbage):
-                raise InjectedFault(
-                    f"garbage verdict from {strategy!r}", engine=strategy
-                )
-            verdict = mangled
-        envelope.verdict = verdict
-        envelope.trace = trace
-        envelope.detail = detail
-    except CONTAINED as error:
-        envelope.verdict = UNKNOWN
-        envelope.abort = AbortInfo.from_exception(strategy, error)
-        envelope.detail = envelope.abort.describe()
-    except Exception as error:  # a strategy crash degrades, never kills
-        envelope.verdict = ERROR
-        envelope.detail = f"{type(error).__name__}: {error}"
+    with obs.span(f"strategy.{strategy}") as phase:
+        try:
+            if chaos is not None:
+                chaos.before(strategy)
+            verdict, trace, detail = STRATEGIES[strategy](circuit, prop, budget)
+            if chaos is not None:
+                mangled = chaos.mangle(strategy, verdict)
+                if isinstance(mangled, Garbage):
+                    raise InjectedFault(
+                        f"garbage verdict from {strategy!r}", engine=strategy
+                    )
+                verdict = mangled
+            envelope.verdict = verdict
+            envelope.trace = trace
+            envelope.detail = detail
+        except CONTAINED as error:
+            envelope.verdict = UNKNOWN
+            envelope.abort = AbortInfo.from_exception(strategy, error)
+            envelope.detail = envelope.abort.describe()
+        except Exception as error:  # a strategy crash degrades, never kills
+            envelope.verdict = ERROR
+            envelope.detail = f"{type(error).__name__}: {error}"
+        phase.set(verdict=envelope.verdict, detail=envelope.detail)
     envelope.seconds = time.perf_counter() - start
     envelope.rss_mb = process_rss_mb()
     return envelope
@@ -234,9 +237,14 @@ def worker_main(conn, strategy, circuit, prop, limits, chaos) -> None:
     the race; exiting quietly is the correct response.
     """
     PERF.reset()
+    # Drop the inherited sink/ring: this child's records travel home in
+    # the envelope, not through the parent's file handle.
+    obs.TRACER.fork_child()
     budget = budget_from_limits(limits, name=f"portfolio/{strategy}")
     envelope = run_strategy(strategy, circuit, prop, budget, chaos=chaos)
     envelope.perf = PERF.snapshot()
+    if obs.TRACER.enabled:
+        envelope.obs = obs.TRACER.drain()
     import os
 
     envelope.pid = os.getpid()

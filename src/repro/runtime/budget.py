@@ -37,6 +37,20 @@ from repro.runtime.abort import (
 )
 
 
+_TRACER = None
+
+
+def _tracer():
+    """The obs tracer, resolved lazily (keeps this module import-light
+    for the kernel layer that shares it) and cached."""
+    global _TRACER
+    if _TRACER is None:
+        from repro.obs.tracer import TRACER as _TRACER_IMPORT
+
+        _TRACER = _TRACER_IMPORT
+    return _TRACER
+
+
 def process_rss_mb() -> Optional[float]:
     """Peak resident-set size of this process in MiB, or None when the
     platform has no ``resource`` module (Windows)."""
@@ -83,6 +97,8 @@ class Budget:
         # they do not shrink this run's limits).
         self.prior: Dict[str, float] = dict(prior or {})
         self._start = time.monotonic()
+        # Last wall-clock decile (0-10) announced to the trace.
+        self._decile = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -129,7 +145,28 @@ class Budget:
         times per second.
         """
         deadline = self.deadline
-        if deadline is not None and time.monotonic() >= deadline:
+        now = time.monotonic()
+        if self.max_seconds is not None:
+            tracer = _tracer()
+            if tracer.enabled:
+                decile = min(
+                    10, int(10.0 * (now - self._start) / self.max_seconds)
+                )
+                if decile > self._decile:
+                    self._decile = decile
+                    spent = self.spent()
+                    tracer.event(
+                        "budget.spend",
+                        {
+                            "budget": self.name,
+                            "decile": decile,
+                            "engine": engine,
+                            "seconds": spent["seconds"],
+                            "conflicts": spent["conflicts"],
+                            "decisions": spent["decisions"],
+                        },
+                    )
+        if deadline is not None and now >= deadline:
             raise Timeout(
                 f"budget {self.name!r} deadline passed after "
                 f"{self.elapsed():.3f}s",

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.obs import tracer as obs
 from repro.runtime.abort import EngineAbort, InjectedFault, MemoryOut
 from repro.runtime.budget import Budget, process_rss_mb
 from repro.runtime.chaos import ChaosMonkey, Garbage
@@ -169,22 +170,23 @@ class Supervisor:
     ) -> Any:
         self.current_engine = engine
         try:
-            if self.chaos is not None:
-                self.chaos.before(engine)
-            value = fn(attempt)
-            if self.chaos is not None:
-                value = self.chaos.mangle(engine, value)
-            if isinstance(value, Garbage):
-                raise InjectedFault(
-                    f"garbage verdict from {engine!r}", engine=engine
-                )
-            if validate is not None and not validate(value):
-                raise EngineAbort(
-                    f"result from {engine!r} failed validation",
-                    engine=engine,
-                    resource="invalid-result",
-                )
-            return value
+            with obs.span(f"step.{engine}", attempt=attempt):
+                if self.chaos is not None:
+                    self.chaos.before(engine)
+                value = fn(attempt)
+                if self.chaos is not None:
+                    value = self.chaos.mangle(engine, value)
+                if isinstance(value, Garbage):
+                    raise InjectedFault(
+                        f"garbage verdict from {engine!r}", engine=engine
+                    )
+                if validate is not None and not validate(value):
+                    raise EngineAbort(
+                        f"result from {engine!r} failed validation",
+                        engine=engine,
+                        resource="invalid-result",
+                    )
+                return value
         finally:
             self.current_engine = None
 
@@ -193,6 +195,14 @@ class Supervisor:
     ) -> AbortInfo:
         info = AbortInfo.from_exception(engine, error, attempt)
         self.aborts.append(info)
+        obs.event(
+            "supervisor.contained",
+            engine=info.engine,
+            resource=info.resource,
+            detail=info.detail,
+            injected=info.injected,
+            attempt=info.attempt,
+        )
         self._note(f"[supervisor] contained {info.describe()}")
         return info
 
@@ -219,6 +229,10 @@ class Supervisor:
         for attempt in range(retries + 1):
             if attempt > 0 and self.budget_exhausted:
                 break
+            if attempt > 0:
+                obs.event(
+                    "supervisor.retry", engine=engine, attempt=attempt
+                )
             result.attempts += 1
             try:
                 value = self._call(engine, fn, attempt, validate)
@@ -239,6 +253,9 @@ class Supervisor:
                 result.ok = True
                 result.value = value
                 result.fell_back = True
+                obs.event(
+                    "supervisor.fallback", engine=engine, fallback=name
+                )
                 self._note(
                     f"[supervisor] {engine!r} degraded to {name!r}"
                 )

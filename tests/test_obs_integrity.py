@@ -1,0 +1,158 @@
+"""Trace-integrity tests: every span closes exactly once no matter how
+its phase ends (clean, EngineAbort, injected chaos, worker cancellation),
+and a parallel run stitches into one schema-valid trace with disjoint
+per-process lanes."""
+
+import pytest
+
+from repro.core import RfnConfig, rfn_verify
+from repro.designs.counters import lfsr
+from repro.obs import TRACER, validate_file, validate_records
+from repro.runtime import ChaosMonkey
+from repro.runtime.chaos import FAULTS
+
+from tests.conftest import buggy_counter, toggle_design
+
+#: the supervised RFN step sites a fault can hit (mirrors
+#: tests/test_runtime_chaos.py)
+SITES = ("reach", "hybrid", "guided", "refine")
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.close()
+    TRACER.drain()
+    yield
+    TRACER.close()
+    TRACER.drain()
+
+
+def _spans(name=None):
+    return [
+        r
+        for r in TRACER.records()
+        if r.get("type") == "span"
+        and (name is None or r.get("name") == name)
+    ]
+
+
+class TestRfnSpansClose:
+    def test_clean_run_iteration_spans(self):
+        TRACER.enable()
+        result = rfn_verify(*buggy_counter())
+        iterations = _spans("rfn.iteration")
+        assert len(iterations) == len(result.iterations)
+        assert all(s["outcome"] != "unclosed" for s in iterations)
+        # Iteration indices are the attrs, in order (1-based).
+        assert [s["attrs"]["iter"] for s in iterations] == list(
+            range(1, len(iterations) + 1)
+        )
+        # The engine steps nest under their iteration.
+        ids = {s["id"] for s in iterations}
+        steps = [s for s in _spans() if s["name"].startswith("step.")]
+        assert steps and all(s["parent"] in ids for s in steps)
+        assert validate_records(TRACER.records()) == []
+
+    @pytest.mark.parametrize("fault", FAULTS)
+    @pytest.mark.parametrize("site", SITES)
+    def test_fault_matrix_every_iteration_span_closes(self, site, fault):
+        """The chaos acceptance matrix, replayed for the tracer: however
+        a step dies, the enclosing ``rfn.iteration`` span still closes
+        and the whole trace stays schema-valid."""
+        TRACER.enable()
+        config = RfnConfig(chaos=ChaosMonkey(plan={site: fault}))
+        rfn_verify(*buggy_counter(), config)
+        iterations = _spans("rfn.iteration")
+        assert iterations
+        assert all(s["outcome"] != "unclosed" for s in iterations)
+        assert validate_records(TRACER.records()) == []
+
+    def test_true_property_under_persistent_fault(self):
+        TRACER.enable()
+        config = RfnConfig(chaos=ChaosMonkey(plan={"reach": "timeout"}))
+        rfn_verify(*toggle_design(), config)
+        assert all(s["outcome"] != "unclosed" for s in _spans())
+        # The containment shows up as supervisor events in the trace.
+        contained = [
+            r
+            for r in TRACER.records()
+            if r.get("type") == "event"
+            and r.get("name") == "supervisor.contained"
+        ]
+        assert contained
+
+    def test_budget_exhaustion_closes_spans(self):
+        from repro.runtime import Budget
+
+        TRACER.enable()
+        config = RfnConfig(budget=Budget(max_seconds=0.0))
+        result = rfn_verify(*buggy_counter(), config)
+        assert result.failure is not None
+        assert all(s["outcome"] != "unclosed" for s in _spans())
+        assert validate_records(TRACER.records()) == []
+
+
+class TestStitchedParallelTrace:
+    def test_portfolio_race_jobs4_single_stitched_trace(self, tmp_path):
+        """A ``--jobs 4`` race produces one trace containing spans from
+        at least two worker pids, all lanes disjoint (the validator's
+        well-nesting check runs per (pid, tid) lane)."""
+        from repro.parallel import race
+
+        path = str(tmp_path / "race.jsonl")
+        TRACER.enable(path)
+        circuit, prop = lfsr(14)
+        outcome = race(circuit, prop, jobs=4)
+        assert outcome.verdict == "verified"
+        records = TRACER.records()
+        TRACER.close()
+
+        assert validate_file(path) == []
+        spans = [r for r in records if r.get("type") == "span"]
+        parent_pid = records[0]["pid"]
+        worker_pids = {
+            s["pid"] for s in spans if s["pid"] != parent_pid
+        }
+        assert len(worker_pids) >= 2
+        # Every raced strategy has a lane: reporting workers via their
+        # own drained spans, cancelled ones via the parent's synthesized
+        # portfolio.worker span.
+        lanes = [s for s in spans if s["name"] == "portfolio.worker"]
+        assert {s["attrs"]["strategy"] for s in lanes} == {
+            "bdd", "rfn", "kinduction", "bmc"
+        }
+        assert any(s["outcome"] == "cancelled" for s in lanes)
+        # The race span itself lives in the parent lane.
+        races = [s for s in spans if s["name"] == "portfolio.race"]
+        assert len(races) == 1 and races[0]["pid"] == parent_pid
+
+    def test_sequential_race_traces_every_strategy(self):
+        from repro.parallel import race
+
+        TRACER.enable()
+        circuit, prop = lfsr(8)
+        race(circuit, prop, jobs=1, strategies=("kinduction",))
+        names = {s["name"] for s in _spans()}
+        assert "portfolio.race" in names
+        assert "strategy.kinduction" in names
+        assert validate_records(TRACER.records()) == []
+
+    def test_sharded_fuzz_campaign_stitches_worker_lanes(self):
+        from repro.fuzz import GenConfig, run_campaign
+
+        TRACER.enable()
+        result = run_campaign(
+            seed=0,
+            iters=3,
+            jobs=2,
+            shrink=False,
+            gen_config=GenConfig(max_registers=2, max_gates=6),
+        )
+        assert result.iterations_run == 3
+        instances = _spans("fuzz.instance")
+        assert len(instances) == 3
+        assert len({s["pid"] for s in instances}) >= 2
+        campaigns = _spans("fuzz.campaign")
+        assert len(campaigns) == 1
+        assert campaigns[0]["attrs"]["iterations"] == 3
+        assert validate_records(TRACER.records()) == []
