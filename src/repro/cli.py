@@ -8,6 +8,10 @@ Commands
 ``simulate``   random simulation with a rendered waveform
 ``fuzz``       differential fuzzing of the verification engines
 ``batch``      verify many corpus netlists, sharded across processes
+``serve``      crash-tolerant verification daemon (WAL queue, watchdog,
+               per-engine circuit breakers)
+``submit``     file-protocol client: enqueue one netlist on a serve queue
+``status``     file-protocol client: show a serve queue's state
 ``trace``      validate/export an obs trace (Chrome JSON, folded stacks)
 ``report``     human-readable run report from an obs trace
 
@@ -17,7 +21,10 @@ holds, 1 = falsified, 2 = resource limit reached, 3 = usage error.
 For ``fuzz``: 0 = all engines agreed and every certificate held,
 1 = at least one finding (reproducers are shrunk into the corpus).
 For ``batch``: 0 = every instance verified, 1 = at least one falsified,
-2 = at least one unknown/error/skipped (and none falsified).
+4 = infrastructure failure (worker death / retries exhausted -- never
+conflated with a property FAIL), 2 = at least one unknown/skipped.
+``submit --wait`` mirrors the batch ladder, plus 75 = RETRY_LATER
+(admission control shed the job; back off and resubmit).
 """
 
 from __future__ import annotations
@@ -40,7 +47,13 @@ from repro.core.coverage import (
 from repro.mc import model_check_coi
 from repro.mc.bmc import BmcOutcome, bmc
 from repro.mc.reach import ReachLimits
-from repro.netlist import circuit_from_text, circuit_to_text, parse_verilog
+from repro.netlist import (
+    NetlistError,
+    NetlistParseError,
+    circuit_from_text,
+    circuit_to_text,
+    parse_verilog,
+)
 from repro.netlist.ops import coi_stats
 from repro.obs import tracer as obs
 from repro.runtime import Budget, ChaosMonkey, RfnCheckpoint
@@ -56,14 +69,31 @@ _PARTIAL: Dict[str, object] = {}
 
 def _load(path: str):
     """Read a design file; the extension picks the frontend
-    (.v -> Verilog subset, .aag -> AIGER, anything else -> netlist text)."""
-    with open(path) as handle:
-        text = handle.read()
-    if path.endswith(".v"):
-        return parse_verilog(text)
-    if path.endswith(".aag"):
-        return aig_to_circuit(parse_aiger(text))
-    return circuit_from_text(text)
+    (.v -> Verilog subset, .aag -> AIGER, anything else -> netlist text).
+
+    Malformed, truncated or binary input surfaces as a
+    :class:`~repro.netlist.NetlistParseError` with file context (the
+    CLI prints it cleanly and exits 2), never a raw traceback."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except UnicodeDecodeError as error:
+        raise NetlistParseError(
+            f"not a text netlist (binary or non-UTF-8 input): {error}",
+            path=path,
+        ) from error
+    try:
+        if path.endswith(".v"):
+            return parse_verilog(text)
+        if path.endswith(".aag"):
+            return aig_to_circuit(parse_aiger(text))
+        return circuit_from_text(text, path=path)
+    except NetlistParseError:
+        raise
+    except (NetlistError, ValueError, IndexError, KeyError) as error:
+        raise NetlistParseError(
+            str(error) or type(error).__name__, path=path
+        ) from error
 
 
 def _parse_target(text: str) -> Dict[str, int]:
@@ -495,24 +525,68 @@ def cmd_report(args) -> int:
     return 0
 
 
-def cmd_batch(args) -> int:
-    from repro.fuzz.shrink import load_corpus, load_instance
-    from repro.parallel import STRATEGY_ORDER, race
+def _batch_serve(args, items, strategies) -> List[dict]:
+    """Run the batch through an in-process :class:`repro.serve.Daemon`
+    (durable queue, watchdog, breakers) instead of bare shards: worker
+    death and hangs are retried with backoff instead of surfacing as
+    one-shot errors."""
+    import tempfile
+
+    from repro.fuzz.shrink import instance_to_text
+    from repro.serve import (
+        Daemon,
+        ServeConfig,
+        make_job,
+        read_result,
+        submit_job,
+    )
+
+    queue_dir = args.queue_dir or tempfile.mkdtemp(prefix="repro-batch-")
+    job_ids = []
+    for path, instance in items:
+        job = make_job(
+            instance_to_text(instance),
+            name=os.path.basename(path),
+            strategies=list(strategies),
+            timeout=args.timeout,
+        )
+        submit_job(queue_dir, job)
+        job_ids.append(job.id)
+    config = ServeConfig(
+        queue_dir=queue_dir,
+        workers=max(1, args.jobs),
+        max_queue=max(len(items), 64),
+        default_timeout=args.timeout,
+        until_idle=True,
+        log=print if args.verbose else None,
+    )
+    Daemon(config).run()
+    records = []
+    for (path, instance), job_id in zip(items, job_ids):
+        result = read_result(queue_dir, job_id) or {
+            "verdict": "error",
+            "detail": "no result produced",
+            "infrastructure": True,
+        }
+        record = {
+            "path": path,
+            "name": instance.name,
+            "verdict": result.get("verdict") or "error",
+            "winner": result.get("winner"),
+            "seconds": result.get("seconds"),
+            "detail": result.get("detail", ""),
+            "attempts": result.get("attempt"),
+            "infrastructure": bool(result.get("infrastructure")),
+            "job": job_id,
+        }
+        records.append(record)
+    return records
+
+
+def _batch_shards(args, items, strategies) -> List[dict]:
+    from repro.parallel import race
     from repro.parallel.shard import SKIPPED, ShardError, shard_map
 
-    items = []
-    for path in args.paths:
-        if os.path.isdir(path):
-            items.extend(load_corpus(path))
-        else:
-            items.append((path, load_instance(path)))
-    if not items:
-        raise ValueError("no corpus instances found in the given paths")
-    strategies = (
-        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
-        if args.strategies
-        else STRATEGY_ORDER
-    )
     log = print if args.verbose else None
 
     def one_instance(item):
@@ -537,6 +611,13 @@ def cmd_batch(args) -> int:
         record = outcome.to_json()
         record["path"] = path
         record["name"] = instance.name
+        # A strategy ERROR envelope is an engine/worker failure, not a
+        # statement about the property.
+        envelopes = record.get("envelopes", [])
+        record["infrastructure"] = record["verdict"] == "error" or (
+            bool(envelopes)
+            and all(e.get("verdict") == "error" for e in envelopes)
+        )
         return record
 
     deadline = (
@@ -547,7 +628,6 @@ def cmd_batch(args) -> int:
     )
 
     records = []
-    counts: Dict[str, int] = {}
     for (path, instance), outcome in zip(items, outcomes):
         if outcome is SKIPPED:
             record = {
@@ -556,8 +636,11 @@ def cmd_batch(args) -> int:
                 "verdict": "skipped",
                 "winner": None,
                 "seconds": None,
+                "infrastructure": False,
             }
         elif isinstance(outcome, ShardError):
+            # The shard process itself died: by definition not a
+            # property verdict.
             record = {
                 "path": path,
                 "name": instance.name,
@@ -565,36 +648,169 @@ def cmd_batch(args) -> int:
                 "winner": None,
                 "seconds": None,
                 "detail": str(outcome),
+                "infrastructure": True,
             }
         else:
             record = outcome
         records.append(record)
+    return records
+
+
+def cmd_batch(args) -> int:
+    from repro.fuzz.shrink import load_corpus, load_instance
+    from repro.parallel import STRATEGY_ORDER
+
+    items = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            items.extend(load_corpus(path))
+        else:
+            items.append((path, load_instance(path)))
+    if not items:
+        raise ValueError("no corpus instances found in the given paths")
+    strategies = (
+        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+        if args.strategies
+        else STRATEGY_ORDER
+    )
+
+    if args.serve:
+        records = _batch_serve(args, items, strategies)
+    else:
+        records = _batch_shards(args, items, strategies)
+
+    counts: Dict[str, int] = {}
+    infra = []
+    for record in records:
         counts[record["verdict"]] = counts.get(record["verdict"], 0) + 1
+        if record.get("infrastructure"):
+            infra.append(
+                {
+                    "path": record["path"],
+                    "detail": record.get("detail", ""),
+                    "attempts": record.get("attempts"),
+                }
+            )
         winner = record.get("winner") or "-"
         seconds = record.get("seconds")
         timing = "     -" if seconds is None else f"{seconds:5.2f}s"
-        print(f"  {record['verdict']:<10} {winner:<10} {timing}  {path}")
+        flag = " [infra]" if record.get("infrastructure") else ""
+        print(f"  {record['verdict']:<10} {winner:<10} {timing}  "
+              f"{record['path']}{flag}")
 
     summary = ", ".join(
         f"{name}={count}" for name, count in sorted(counts.items())
     )
     print(f"batch: {len(records)} instance(s); {summary}")
+    if infra:
+        print(f"{len(infra)} infrastructure failure(s) "
+              f"(worker death / retries exhausted), not property verdicts")
     if args.report:
         payload = {
             "instances": records,
             "verdict_counts": counts,
+            "infrastructure_failures": infra,
             "jobs": args.jobs,
+            "serve": bool(args.serve),
             "strategies": list(strategies),
         }
         with open(args.report, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"report written to {args.report}")
+    # Exit-code ladder: a genuine property FAIL dominates; otherwise
+    # infrastructure failure is its own code (4) so CI can tell "the
+    # design is buggy" from "the farm is buggy"; otherwise inconclusive
+    # verdicts (unknown/skipped) exit 2.
     if counts.get("falsified"):
         return 1
+    if infra:
+        return 4
     if len(counts) == 1 and counts.get("verified"):
         return 0
     return 2
+
+
+def cmd_serve(args) -> int:
+    from repro.parallel import STRATEGY_ORDER
+    from repro.serve import Daemon, ServeConfig
+
+    strategies = (
+        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+        if args.strategies
+        else STRATEGY_ORDER
+    )
+    config = ServeConfig(
+        queue_dir=args.queue_dir,
+        workers=max(1, args.workers),
+        max_queue=args.max_queue,
+        default_timeout=args.timeout,
+        default_strategies=strategies,
+        hang_seconds=args.hang_seconds,
+        heartbeat_timeout=args.heartbeat_timeout,
+        rss_limit_mb=args.rss_limit_mb,
+        poll_seconds=args.poll,
+        drain_grace=args.drain_grace,
+        until_idle=args.until_idle,
+        log=print if args.verbose else None,
+    )
+    return Daemon(config).run()
+
+
+def cmd_submit(args) -> int:
+    from repro.serve import RETRY_LATER, make_job, submit_job, wait_for
+
+    with open(args.netlist) as handle:
+        netlist_text = handle.read()
+    target = _parse_target(args.target) if args.target else None
+    if args.watchdog:
+        target = {args.watchdog: 1}
+    strategies = (
+        [s.strip() for s in args.strategies.split(",") if s.strip()]
+        if args.strategies
+        else None
+    )
+    job = make_job(
+        netlist_text,
+        name=os.path.basename(args.netlist),
+        target=target,
+        prop_name=args.name,
+        strategies=strategies,
+        timeout=args.timeout,
+        chaos=args.chaos,
+    )
+    submit_job(args.queue_dir, job)
+    print(f"submitted {job.id} ({job.name})")
+    if not args.wait:
+        return 0
+    results = wait_for(
+        args.queue_dir, [job.id], timeout=args.wait_timeout
+    )
+    result = results[job.id]
+    if result is None:
+        print("error: timed out waiting for a result", file=sys.stderr)
+        return 3
+    if result.get("reply") == RETRY_LATER:
+        print(f"{job.id}: {RETRY_LATER} ({result.get('detail', '')})",
+              file=sys.stderr)
+        return 75  # EX_TEMPFAIL: back off and resubmit
+    verdict = result.get("verdict")
+    infra = " [infrastructure]" if result.get("infrastructure") else ""
+    print(f"{job.id}: {verdict}{infra} ({result.get('detail', '')})")
+    if result.get("infrastructure"):
+        return 4
+    return {"verified": 0, "falsified": 1}.get(verdict, 2)
+
+
+def cmd_status(args) -> int:
+    from repro.serve import queue_status, render_status
+
+    status = queue_status(args.queue_dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(render_status(status), end="")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -766,8 +982,112 @@ def build_parser() -> argparse.ArgumentParser:
                          help="whole-batch wall-clock budget; instances "
                          "past it are reported as skipped")
     p_batch.add_argument("--report", help="write a JSON batch report here")
+    p_batch.add_argument(
+        "--serve", action="store_true",
+        help="run on the crash-tolerant service layer (durable queue, "
+        "watchdog, per-engine breakers, bounded retries) instead of "
+        "bare one-shot shards",
+    )
+    p_batch.add_argument(
+        "--queue-dir",
+        help="with --serve: queue directory (default: a fresh temp dir)",
+    )
     p_batch.add_argument("--verbose", action="store_true")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the supervised verification daemon over a durable "
+        "job queue (crash-tolerant: WAL + watchdog + breakers)",
+    )
+    p_serve.add_argument("--queue-dir", required=True,
+                         help="queue directory (created if missing)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker processes (one job each)")
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission bound: submissions past this many active jobs "
+        "are shed with a RETRY_LATER reply",
+    )
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="default per-job budget in seconds")
+    p_serve.add_argument(
+        "--strategies",
+        help="default engine strategies per job, comma-separated "
+        "(default: bdd,rfn,kinduction,bmc)",
+    )
+    p_serve.add_argument(
+        "--hang-seconds", type=float, default=300.0,
+        help="watchdog: preempt a worker whose attempt runs longer "
+        "than this lease",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout", type=float, default=15.0,
+        help="watchdog: preempt a worker whose heartbeat goes stale",
+    )
+    p_serve.add_argument(
+        "--rss-limit-mb", type=float, default=None,
+        help="watchdog: preempt a worker whose RSS exceeds this "
+        "(before the kernel OOM killer picks a victim at random)",
+    )
+    p_serve.add_argument(
+        "--until-idle", action="store_true",
+        help="exit 0 once every known job is terminal and the inbox "
+        "is empty (batch/CI mode; default: serve until SIGTERM)",
+    )
+    p_serve.add_argument("--drain-grace", type=float, default=10.0,
+                         help="SIGTERM: seconds in-flight jobs get to "
+                         "finish before preempt-and-requeue")
+    p_serve.add_argument("--poll", type=float, default=0.05,
+                         help="main-loop poll interval in seconds")
+    p_serve.add_argument(
+        "--trace", metavar="PATH",
+        help="write an obs span/event trace (schema-versioned JSONL) "
+        "here; inspect it with 'repro trace' / 'repro report'",
+    )
+    p_serve.add_argument("--verbose", action="store_true")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one netlist to a running (or future) repro serve "
+        "queue via the file protocol",
+    )
+    p_submit.add_argument("queue_dir", help="the daemon's --queue-dir")
+    p_submit.add_argument("netlist",
+                          help="netlist text file; a '# !property' "
+                          "directive supplies the property unless "
+                          "--target/--watchdog is given")
+    group = p_submit.add_mutually_exclusive_group()
+    group.add_argument("--watchdog", help="watchdog register (target: =1)")
+    group.add_argument("--target", help="target cube, e.g. 'bad=1,mode=0'")
+    p_submit.add_argument("--name", default="property")
+    p_submit.add_argument("--strategies",
+                          help="comma-separated strategy subset")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="per-job budget in seconds")
+    p_submit.add_argument(
+        "--chaos", metavar="SPEC",
+        help="deterministic fault injection inside this job's workers "
+        "(testing aid), e.g. 'rfn=crash'",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal verdict; exit "
+        "0=verified 1=falsified 2=unknown 4=infrastructure "
+        "75=RETRY_LATER (queue full)",
+    )
+    p_submit.add_argument("--wait-timeout", type=float, default=None)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status",
+        help="show a repro serve queue: journal replay + inbox backlog "
+        "(read-only; safe next to a live daemon)",
+    )
+    p_status.add_argument("queue_dir", help="the daemon's --queue-dir")
+    p_status.add_argument("--json", action="store_true")
+    p_status.set_defaults(func=cmd_status)
 
     p_trace = sub.add_parser(
         "trace",
@@ -845,6 +1165,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(_partial_report(), indent=2, sort_keys=True))
         print("interrupted", file=sys.stderr)
         return 130
+    except NetlistError as error:
+        # Unparseable/invalid design input: one clean diagnostic with
+        # file/line context, exit 2 (distinct from usage errors).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3

@@ -32,6 +32,7 @@ from repro.fuzz.gen import FuzzInstance
 from repro.netlist.circuit import Circuit, NetlistError
 from repro.netlist.ops import coi_registers, extract_subcircuit
 from repro.netlist.textio import circuit_from_text, circuit_to_text
+from repro.runtime.fsio import atomic_write_text
 from repro.trace import Trace
 
 Predicate = Callable[[FuzzInstance], bool]
@@ -82,13 +83,15 @@ def instance_from_text(text: str) -> FuzzInstance:
 def save_reproducer(
     instance: FuzzInstance, directory: str, stem: Optional[str] = None
 ) -> str:
-    """Write one instance into the corpus directory; returns the path."""
+    """Write one instance into the corpus directory; returns the path.
+
+    The write is crash-atomic (tmp + fsync + rename): a campaign killed
+    mid-write can never leave a truncated reproducer that would poison
+    later corpus replays."""
     os.makedirs(directory, exist_ok=True)
     stem = stem or instance.name
     path = os.path.join(directory, f"{stem}.net")
-    with open(path, "w") as handle:
-        handle.write(instance_to_text(instance))
-    return path
+    return atomic_write_text(path, instance_to_text(instance))
 
 
 def load_instance(path: str) -> FuzzInstance:

@@ -24,7 +24,11 @@ from repro.netlist.ops import (
     support_of,
     transitive_fanout_signals,
 )
-from repro.netlist.textio import circuit_from_text, circuit_to_text
+from repro.netlist.textio import (
+    NetlistParseError,
+    circuit_from_text,
+    circuit_to_text,
+)
 from repro.netlist.verilog import VerilogError, parse_verilog
 
 __all__ = [
@@ -32,6 +36,7 @@ __all__ = [
     "Gate",
     "GateOp",
     "NetlistError",
+    "NetlistParseError",
     "Register",
     "VerilogError",
     "circuit_from_text",

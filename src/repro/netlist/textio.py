@@ -24,6 +24,35 @@ from repro.netlist.cell import GateOp
 from repro.netlist.circuit import Circuit, NetlistError
 
 
+class NetlistParseError(NetlistError):
+    """A netlist text file could not be parsed.
+
+    Carries the source ``path`` (when known) and 1-based ``line`` of
+    the offending construct, so CLI consumers can print one clean
+    ``file:line: problem`` diagnostic instead of a traceback.  *Every*
+    malformed, truncated or binary input surfaces as this one type --
+    no ``IndexError``/``ValueError``/``UnicodeDecodeError`` may leak
+    out of :func:`circuit_from_text`.
+    """
+
+    def __init__(
+        self,
+        problem: str,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.path = path
+        self.line = line
+        where = []
+        if path:
+            where.append(path)
+        if line is not None:
+            where.append(f"line {line}")
+        prefix = ": ".join(where)
+        super().__init__(f"{prefix}: {problem}" if prefix else problem)
+
+
 def circuit_to_text(circuit: Circuit) -> str:
     """Serialize a circuit into the text format."""
     lines: List[str] = [f"circuit {circuit.name}"]
@@ -41,75 +70,123 @@ def circuit_to_text(circuit: Circuit) -> str:
     return "\n".join(lines) + "\n"
 
 
-def circuit_from_text(text: str) -> Circuit:
+#: Exceptions a malformed line may provoke in the circuit builder; all
+#: are converted to :class:`NetlistParseError` with line context.
+_LINE_ERRORS = (NetlistError, ValueError, IndexError, KeyError, TypeError)
+
+
+def _looks_binary(text: str) -> bool:
+    """NUL bytes (or a heavy non-printable ratio) mean someone pointed
+    the parser at a binary file; one clear diagnostic beats a cascade
+    of 'unknown construct' noise."""
+    if "\x00" in text:
+        return True
+    sample = text[:4096]
+    if not sample:
+        return False
+    weird = sum(
+        1
+        for ch in sample
+        if ord(ch) < 32 and ch not in ("\t", "\n", "\r")
+    )
+    return weird > len(sample) // 20
+
+
+def circuit_from_text(text: str, path: Optional[str] = None) -> Circuit:
     """Parse the text format back into a circuit.
 
-    Raises :class:`NetlistError` on malformed input.
+    Raises :class:`NetlistParseError` -- and only that -- on malformed,
+    truncated or binary input.  ``path`` (optional) is included in the
+    diagnostic.
     """
+    if not isinstance(text, str):
+        raise NetlistParseError(
+            "not a text netlist (binary input)", path=path
+        )
+    if _looks_binary(text):
+        raise NetlistParseError(
+            "not a text netlist (binary or non-UTF-8 content)", path=path
+        )
     circuit: Optional[Circuit] = None
     pending_regs = []
     pending_outputs = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        tokens = line.split()
-        kind = tokens[0]
-        if kind == "circuit":
-            if len(tokens) != 2:
-                raise NetlistError(f"line {lineno}: circuit needs a name")
-            if circuit is not None:
-                raise NetlistError(f"line {lineno}: duplicate circuit line")
-            circuit = Circuit(tokens[1])
-            continue
-        if circuit is None:
-            circuit = Circuit("top")
-        if kind == "input":
-            for name in tokens[1:]:
-                circuit.add_input(name)
-        elif kind == "reg":
-            # reg <out> = <data> [init <0|1|x>]
-            if len(tokens) < 4 or tokens[2] != "=":
-                raise NetlistError(f"line {lineno}: malformed reg: {line!r}")
-            out, data = tokens[1], tokens[3]
-            init: Optional[int] = 0
-            if len(tokens) > 4:
-                if len(tokens) != 6 or tokens[4] != "init":
-                    raise NetlistError(
-                        f"line {lineno}: malformed reg init: {line!r}"
-                    )
-                if tokens[5] == "x":
-                    init = None
-                elif tokens[5] in ("0", "1"):
-                    init = int(tokens[5])
-                else:
-                    raise NetlistError(
-                        f"line {lineno}: bad init value {tokens[5]!r}"
-                    )
-            pending_regs.append((out, data, init))
-        elif kind == "gate":
-            # gate <out> = <OP> <in>...
-            if len(tokens) < 4 or tokens[2] != "=":
-                raise NetlistError(f"line {lineno}: malformed gate: {line!r}")
-            out, opname = tokens[1], tokens[3]
-            try:
-                op = GateOp(opname)
-            except ValueError:
-                raise NetlistError(
-                    f"line {lineno}: unknown gate op {opname!r}"
-                ) from None
-            circuit.add_gate(op, tokens[4:], out)
-        elif kind == "output":
-            pending_outputs.extend(tokens[1:])
-        else:
-            raise NetlistError(f"line {lineno}: unknown construct {kind!r}")
+
+        def bad(problem: str) -> NetlistParseError:
+            return NetlistParseError(problem, path=path, line=lineno)
+
+        try:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            kind = tokens[0]
+            if kind == "circuit":
+                if len(tokens) != 2:
+                    raise bad("circuit needs exactly one name")
+                if circuit is not None:
+                    raise bad("duplicate circuit line")
+                circuit = Circuit(tokens[1])
+                continue
+            if circuit is None:
+                circuit = Circuit("top")
+            if kind == "input":
+                if len(tokens) < 2:
+                    raise bad("input needs at least one signal name")
+                for name in tokens[1:]:
+                    circuit.add_input(name)
+            elif kind == "reg":
+                # reg <out> = <data> [init <0|1|x>]
+                if len(tokens) < 4 or tokens[2] != "=":
+                    raise bad(f"malformed reg: {line!r}")
+                out, data = tokens[1], tokens[3]
+                init: Optional[int] = 0
+                if len(tokens) > 4:
+                    if len(tokens) != 6 or tokens[4] != "init":
+                        raise bad(f"malformed reg init: {line!r}")
+                    if tokens[5] == "x":
+                        init = None
+                    elif tokens[5] in ("0", "1"):
+                        init = int(tokens[5])
+                    else:
+                        raise bad(f"bad init value {tokens[5]!r}")
+                pending_regs.append((out, data, init))
+            elif kind == "gate":
+                # gate <out> = <OP> <in>...
+                if len(tokens) < 4 or tokens[2] != "=":
+                    raise bad(f"malformed gate: {line!r}")
+                out, opname = tokens[1], tokens[3]
+                try:
+                    op = GateOp(opname)
+                except ValueError:
+                    raise bad(f"unknown gate op {opname!r}") from None
+                circuit.add_gate(op, tokens[4:], out)
+            elif kind == "output":
+                if len(tokens) < 2:
+                    raise bad("output needs at least one signal name")
+                pending_outputs.extend(tokens[1:])
+            else:
+                raise bad(f"unknown construct {kind!r}")
+        except NetlistParseError:
+            raise
+        except _LINE_ERRORS as error:
+            # Anything the circuit builder rejects (duplicate signals,
+            # bad fanin arity, ...) gets the same file/line context.
+            raise bad(str(error) or type(error).__name__) from error
     if circuit is None:
-        raise NetlistError("empty netlist text")
-    for out, data, init in pending_regs:
-        circuit.add_register(data, init=init, output=out)
-    for name in pending_outputs:
-        if not circuit.is_defined(name):
-            raise NetlistError(f"output {name!r} is undefined")
-        circuit.mark_output(name)
-    circuit.validate()
+        raise NetlistParseError("empty netlist text", path=path)
+    try:
+        for out, data, init in pending_regs:
+            circuit.add_register(data, init=init, output=out)
+        for name in pending_outputs:
+            if not circuit.is_defined(name):
+                raise NetlistError(f"output {name!r} is undefined")
+            circuit.mark_output(name)
+        circuit.validate()
+    except NetlistParseError:
+        raise
+    except _LINE_ERRORS as error:
+        raise NetlistParseError(
+            str(error) or type(error).__name__, path=path
+        ) from error
     return circuit

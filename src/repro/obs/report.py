@@ -113,6 +113,78 @@ def _fuzz_section(records: List[dict]) -> List[str]:
     return lines
 
 
+def _serve_section(records: List[dict]) -> List[str]:
+    """Service digest: per-job attempt table plus watchdog/breaker
+    activity, rendered from ``serve.job`` spans and ``serve.*`` /
+    ``watchdog.preempt`` / ``breaker.*`` events."""
+    attempts = _spans(records, "serve.job")
+    starts = _events(records, "serve.start")
+    if not attempts and not starts:
+        return []
+    lines = ["Service digest", ""]
+    jobs: Dict[str, List[dict]] = {}
+    for span in attempts:
+        attrs = span.get("attrs") or {}
+        jobs.setdefault(str(attrs.get("job", "?")), []).append(span)
+    rows: List[List[str]] = []
+    for job_id, spans in sorted(jobs.items()):
+        last = max(spans, key=lambda s: (s.get("attrs") or {}).get(
+            "attempt", 0))
+        attrs = last.get("attrs") or {}
+        total = sum(s.get("dur", 0.0) for s in spans)
+        rows.append(
+            [
+                job_id,
+                str(attrs.get("name", "-")),
+                str(len(spans)),
+                str(last.get("outcome", "?")),
+                f"{total:.3f}s",
+                str(attrs.get("strategies", "-")),
+            ]
+        )
+    if rows:
+        lines.extend(
+            _table(
+                ["job", "name", "attempts", "outcome", "time",
+                 "strategies"],
+                rows,
+            )
+        )
+    preempts = _events(records, "watchdog.preempt")
+    for event in preempts:
+        attrs = event.get("attrs") or {}
+        lines.append(
+            f"  preempt pid {attrs.get('pid', '?')} "
+            f"job {attrs.get('job', '?')}: {attrs.get('reason', '?')} "
+            f"-> {attrs.get('how', '?')}"
+        )
+    deaths = _events(records, "serve.worker_death")
+    for event in deaths:
+        attrs = event.get("attrs") or {}
+        lines.append(
+            f"  worker death pid {attrs.get('pid', '?')} "
+            f"job {attrs.get('job', '?')} "
+            f"(exitcode {attrs.get('exitcode', '?')}) "
+            f"during {attrs.get('strategy', '?')}"
+        )
+    for event in _events(records, "serve.orphan_killed"):
+        attrs = event.get("attrs") or {}
+        lines.append(
+            f"  orphan worker {attrs.get('pid', '?')} "
+            f"(job {attrs.get('job', '?')}) killed on restart"
+        )
+    for state in ("open", "half-open", "closed"):
+        for event in _events(records, f"breaker.{state}"):
+            attrs = event.get("attrs") or {}
+            lines.append(
+                f"  breaker {attrs.get('strategy', '?')}: {state}"
+            )
+    shed = _events(records, "serve.shed")
+    if shed:
+        lines.append(f"  load-shed: {len(shed)} submission(s) RETRY_LATER")
+    return lines
+
+
 def _supervisor_section(records: List[dict]) -> List[str]:
     contained = _events(records, "supervisor.contained")
     fallbacks = _events(records, "supervisor.fallback")
@@ -196,6 +268,7 @@ def render_report(records: List[dict]) -> str:
         for section in (
             _rfn_section(records),
             _fuzz_section(records),
+            _serve_section(records),
             _lanes_section(records),
             _supervisor_section(records),
             _counters_section(records),

@@ -192,18 +192,23 @@ def run_strategy(
     prop: UnreachabilityProperty,
     budget: Optional[Budget] = None,
     chaos: Optional[ChaosMonkey] = None,
+    fn: Optional[StrategyFn] = None,
 ) -> WorkerEnvelope:
     """Run one strategy under full containment; never raises short of
     ``KeyboardInterrupt``.  The chaos site name is the strategy name, so
     ``--chaos bdd=timeout`` breaks the bdd worker exactly like it breaks
-    an in-process supervised step."""
+    an in-process supervised step.  ``fn`` substitutes the strategy body
+    (same signature) while keeping the name, containment and chaos site
+    -- the service layer uses this to run ``rfn`` with checkpoint/resume
+    wired in."""
     envelope = WorkerEnvelope(strategy=strategy)
     start = time.perf_counter()
     with obs.span(f"strategy.{strategy}") as phase:
         try:
             if chaos is not None:
                 chaos.before(strategy)
-            verdict, trace, detail = STRATEGIES[strategy](circuit, prop, budget)
+            body = STRATEGIES[strategy] if fn is None else fn
+            verdict, trace, detail = body(circuit, prop, budget)
             if chaos is not None:
                 mangled = chaos.mangle(strategy, verdict)
                 if isinstance(mangled, Garbage):

@@ -22,7 +22,15 @@ from repro.runtime.abort import (
     Timeout,
 )
 from repro.runtime.budget import Budget, process_rss_mb
-from repro.runtime.chaos import FAULTS, ChaosError, ChaosMonkey, Garbage
+from repro.runtime.chaos import (
+    ALL_FAULTS,
+    FAULTS,
+    PROCESS_FAULTS,
+    ChaosError,
+    ChaosMonkey,
+    Garbage,
+)
+from repro.runtime.fsio import atomic_write_text, fsync_dir
 from repro.runtime.checkpoint import CHECKPOINT_VERSION, RfnCheckpoint
 from repro.runtime.supervisor import (
     CONTAINED,
@@ -33,6 +41,7 @@ from repro.runtime.supervisor import (
 
 __all__ = [
     "ABORT_BY_RESOURCE",
+    "ALL_FAULTS",
     "AbortInfo",
     "Budget",
     "CHECKPOINT_VERSION",
@@ -48,9 +57,12 @@ __all__ = [
     "InjectedFault",
     "MemoryOut",
     "NodesOut",
+    "PROCESS_FAULTS",
     "RfnCheckpoint",
     "StepResult",
     "Supervisor",
     "Timeout",
+    "atomic_write_text",
+    "fsync_dir",
     "process_rss_mb",
 ]

@@ -12,7 +12,19 @@ nodes     raises the real ``bdd.manager.BDDNodeLimit``
 memory    raises ``MemoryError``
 garbage   replaces the engine's result with a :class:`Garbage`
           sentinel (a corrupted verdict the supervisor must catch)
+sleep     hangs the call (``time.sleep``), emulating a wedged
+          solver -- only a watchdog can recover
+crash     hard process death (``os._exit``), emulating a segfault
+          or OOM kill -- nothing in-process can contain it
 ========  ======================================================
+
+The first four are *contained* faults (:data:`FAULTS`): the supervisor
+catches them in-process.  ``sleep`` and ``crash``
+(:data:`PROCESS_FAULTS`) are deliberately uncontainable; they exist to
+exercise the service layer's heartbeat watchdog and worker-death
+requeue paths (:mod:`repro.serve`), and are rejected by the in-process
+supervisor test matrix by construction (it parametrizes over
+:data:`FAULTS` only).
 
 Schedules are fully deterministic: an explicit *plan* names the call
 indices to break (``{"hybrid": {0: "timeout"}}`` breaks only the first
@@ -29,7 +41,22 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.runtime.abort import Timeout
 
+#: Contained faults: the supervisor catches these in-process.
 FAULTS: Tuple[str, ...] = ("timeout", "nodes", "memory", "garbage")
+
+#: Uncontainable process-level faults: a hung call and a hard death.
+#: Only the service watchdog / worker-pool layer can recover from them.
+PROCESS_FAULTS: Tuple[str, ...] = ("sleep", "crash")
+
+ALL_FAULTS: Tuple[str, ...] = FAULTS + PROCESS_FAULTS
+
+#: How long a ``sleep`` fault hangs.  Long enough that only a watchdog
+#: preemption ends the call, short enough that a watchdog bug cannot
+#: wedge a test run forever.
+SLEEP_FAULT_SECONDS = 600.0
+
+#: Exit code of a ``crash`` fault (visible as the worker's exitcode).
+CRASH_FAULT_EXITCODE = 86
 
 PlanSpec = Mapping[str, Union[str, Mapping[int, str]]]
 
@@ -90,9 +117,9 @@ class ChaosMonkey:
 
     @staticmethod
     def _check_fault(fault: str) -> None:
-        if fault not in FAULTS:
+        if fault not in ALL_FAULTS:
             raise ChaosError(
-                f"unknown fault {fault!r}; expected one of {FAULTS}"
+                f"unknown fault {fault!r}; expected one of {ALL_FAULTS}"
             )
 
     # ------------------------------------------------------------------
@@ -196,6 +223,19 @@ class ChaosMonkey:
             raise Timeout(detail, engine=site, injected=True)
         if fault == "memory":
             raise MemoryError(detail)
+        if fault == "sleep":
+            import time
+
+            time.sleep(SLEEP_FAULT_SECONDS)
+            # A watchdog normally SIGKILLs the process long before the
+            # sleep returns; degrade to a timeout if one never comes.
+            raise Timeout(detail, engine=site, injected=True)
+        if fault == "crash":
+            import os
+
+            # Hard death: no atexit, no finally blocks, no envelope --
+            # exactly what a segfault or the kernel OOM killer does.
+            os._exit(CRASH_FAULT_EXITCODE)
         # fault == "nodes": raise the genuine manager exception so the
         # containment tests exercise the exact production type.
         from repro.bdd.manager import BDDNodeLimit

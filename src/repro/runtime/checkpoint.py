@@ -15,10 +15,10 @@ against resuming the wrong design.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro.runtime.fsio import atomic_write_text
 
 CHECKPOINT_VERSION = 1
 
@@ -77,24 +77,12 @@ class RfnCheckpoint:
         )
 
     def save(self, path: str) -> str:
-        """Atomically write the checkpoint (write-temp + rename, so a
-        kill mid-write never corrupts the previous checkpoint)."""
-        directory = os.path.dirname(os.path.abspath(path)) or "."
-        fd, tmp = tempfile.mkstemp(
-            prefix=".ckpt-", suffix=".json", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(self.to_json(), handle, indent=2, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        """Crash-atomically write the checkpoint (write-temp + fsync +
+        rename via :func:`repro.runtime.fsio.atomic_write_text`), so a
+        ``kill -9`` mid-write can never leave a truncated JSON file --
+        the previous checkpoint survives intact."""
+        text = json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        return atomic_write_text(path, text)
 
     @classmethod
     def load(cls, path: str) -> "RfnCheckpoint":

@@ -1,0 +1,65 @@
+"""Crash-atomic filesystem primitives.
+
+Every durable artifact in the repro -- CEGAR checkpoints, fuzz corpus
+reproducers, service result files, journal segments -- is written
+through :func:`atomic_write_text`: the bytes land in a temporary file
+*in the destination directory*, are flushed and ``fsync``'d, and only
+then ``os.replace``'d over the destination, followed by a directory
+fsync so the rename itself is durable.  A ``kill -9`` (or power cut) at
+any instant therefore leaves either the complete old file or the
+complete new file -- never a truncated JSON artifact.
+
+The helpers degrade gracefully on filesystems that reject directory
+fsync (some network mounts): the rename atomicity still holds, only the
+rename's durability window widens.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def fsync_dir(directory: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+    Best-effort: directories cannot be fsynced on every filesystem."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystem
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic filesystem
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, durable: bool = True) -> str:
+    """Write ``text`` to ``path`` crash-atomically (see module docstring).
+
+    Returns ``path``.  With ``durable=False`` the data fsync is skipped
+    (rename atomicity is kept; used for artifacts that are cheap to
+    regenerate).
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix="." + os.path.basename(path) + ".", suffix=".tmp",
+        dir=directory,
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(directory)
+    return path

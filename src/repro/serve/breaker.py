@@ -1,0 +1,244 @@
+"""Per-strategy circuit breakers: closed -> open -> half-open.
+
+A strategy that keeps crashing or aborting (a solver build with a
+heap-corruption bug, a BDD engine that OOMs on every design in the
+current traffic mix) must not be offered a fresh worker for every job
+in the queue -- that turns one bad engine into a whole-service retry
+storm.  Each strategy gets a :class:`CircuitBreaker`:
+
+``closed``
+    Normal operation.  Outcomes are recorded into a sliding window;
+    the breaker *trips* (opens) when the window holds at least
+    ``min_samples`` outcomes and the failure rate reaches
+    ``threshold``, or immediately after ``consecutive_trip``
+    consecutive failures (so a 100% crash-looping engine is
+    quarantined within 3 attempts, per the acceptance contract).
+``open``
+    The strategy is quarantined: :meth:`allow` refuses it, so the
+    portfolio degrades gracefully to the surviving engines.  After
+    ``cooldown_seconds`` the breaker transitions to half-open.
+``half-open``
+    Exactly one probe job may include the strategy.  Probe success
+    closes the breaker (window reset); probe failure re-opens it with
+    the cooldown doubled (capped), so a still-broken engine is retried
+    ever more rarely.
+
+This mirrors the paper's engine-switching heuristic one level up: the
+scheduler already *prefers* engines by observed progress; the breaker
+*removes* an engine whose recent observed behaviour is failure.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker for one strategy (see module docstring)."""
+
+    def __init__(
+        self,
+        strategy: str,
+        window: int = 8,
+        min_samples: int = 3,
+        threshold: float = 0.5,
+        consecutive_trip: int = 3,
+        cooldown_seconds: float = 30.0,
+        max_cooldown_seconds: float = 300.0,
+    ) -> None:
+        self.strategy = strategy
+        self.window: Deque[bool] = deque(maxlen=window)
+        self.min_samples = min_samples
+        self.threshold = threshold
+        self.consecutive_trip = consecutive_trip
+        self.base_cooldown = cooldown_seconds
+        self.max_cooldown = max_cooldown_seconds
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.cooldown = cooldown_seconds
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+        self.probing = False
+
+    # ------------------------------------------------------------------
+
+    def failure_rate(self) -> float:
+        if not self.window:
+            return 0.0
+        return sum(1 for ok in self.window if not ok) / len(self.window)
+
+    def _should_trip(self) -> bool:
+        if self.consecutive_failures >= self.consecutive_trip:
+            return True
+        return (
+            len(self.window) >= self.min_samples
+            and self.failure_rate() >= self.threshold
+        )
+
+    def _open(self, now: float, escalate: bool) -> None:
+        self.state = OPEN
+        self.opened_at = now
+        self.trips += 1
+        self.probing = False
+        if escalate:
+            self.cooldown = min(self.max_cooldown, self.cooldown * 2.0)
+
+    # ------------------------------------------------------------------
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """May the next job include this strategy?"""
+        now = time.monotonic() if now is None else now
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if (
+                self.opened_at is not None
+                and now - self.opened_at >= self.cooldown
+            ):
+                self.state = HALF_OPEN
+                self.probing = False
+            else:
+                return False
+        # half-open: exactly one outstanding probe.
+        if self.probing:
+            return False
+        self.probing = True
+        return True
+
+    def record(self, ok: bool, now: Optional[float] = None) -> Optional[str]:
+        """Record one outcome; returns the new state when it changed."""
+        now = time.monotonic() if now is None else now
+        if self.state == HALF_OPEN:
+            self.probing = False
+            if ok:
+                self.state = CLOSED
+                self.window.clear()
+                self.consecutive_failures = 0
+                self.cooldown = self.base_cooldown
+                return CLOSED
+            self._open(now, escalate=True)
+            return OPEN
+        if self.state == OPEN:
+            # Outcome from a job admitted before the trip; informational.
+            self.window.append(ok)
+            return None
+        self.window.append(ok)
+        self.consecutive_failures = 0 if ok else (
+            self.consecutive_failures + 1
+        )
+        if not ok and self._should_trip():
+            self._open(now, escalate=False)
+            return OPEN
+        return None
+
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "state": self.state,
+            "window": [bool(ok) for ok in self.window],
+            "consecutive_failures": self.consecutive_failures,
+            "failure_rate": round(self.failure_rate(), 3),
+            "cooldown": self.cooldown,
+            "trips": self.trips,
+        }
+
+    def load_json(self, payload: dict) -> None:
+        """Restore persisted state (used by journal snapshot replay).
+
+        Time anchors are *not* restored: an ``open`` breaker resumes
+        its cooldown from the restart instant, which only delays the
+        first probe -- never skips the quarantine.
+        """
+        self.state = payload.get("state", CLOSED)
+        self.window.clear()
+        self.window.extend(bool(ok) for ok in payload.get("window", []))
+        self.consecutive_failures = int(
+            payload.get("consecutive_failures", 0)
+        )
+        self.cooldown = float(payload.get("cooldown", self.base_cooldown))
+        self.trips = int(payload.get("trips", 0))
+        self.probing = False
+        self.opened_at = (
+            time.monotonic() if self.state == OPEN else None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker({self.strategy!r}, {self.state}, "
+            f"rate={self.failure_rate():.2f})"
+        )
+
+
+class BreakerBoard:
+    """The per-strategy breaker registry the daemon consults.
+
+    ``on_transition(strategy, state)`` fires on every state change so
+    the daemon can journal and trace it.
+    """
+
+    def __init__(
+        self,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+        **breaker_kwargs,
+    ) -> None:
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.on_transition = on_transition
+        self.breaker_kwargs = breaker_kwargs
+        self.bypasses = 0
+
+    def breaker(self, strategy: str) -> CircuitBreaker:
+        if strategy not in self.breakers:
+            self.breakers[strategy] = CircuitBreaker(
+                strategy, **self.breaker_kwargs
+            )
+        return self.breakers[strategy]
+
+    def filter(
+        self, strategies: Sequence[str], now: Optional[float] = None
+    ) -> List[str]:
+        """Strategies the breakers admit for the next job.
+
+        When *every* requested strategy is quarantined the full list is
+        returned instead (with ``bypasses`` counted): a wedged board
+        must degrade to "try anyway", never to "serve nothing".
+        """
+        allowed = [
+            s for s in strategies if self.breaker(s).allow(now)
+        ]
+        if not allowed and strategies:
+            self.bypasses += 1
+            return list(strategies)
+        return allowed
+
+    def record(
+        self, strategy: str, ok: bool, now: Optional[float] = None
+    ) -> None:
+        changed = self.breaker(strategy).record(ok, now)
+        if changed is not None and self.on_transition is not None:
+            self.on_transition(strategy, changed)
+
+    def release(self, strategy: str) -> None:
+        """Return an unused half-open probe (the job it was admitted to
+        finished without ever running the strategy), so the breaker can
+        probe again on a later job instead of deadlocking half-open."""
+        breaker = self.breakers.get(strategy)
+        if breaker is not None and breaker.state == HALF_OPEN:
+            breaker.probing = False
+
+    def to_json(self) -> dict:
+        return {
+            name: breaker.to_json()
+            for name, breaker in sorted(self.breakers.items())
+        }
+
+    def load_json(self, payload: dict) -> None:
+        for name, state in payload.items():
+            self.breaker(name).load_json(state)

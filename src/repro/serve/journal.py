@@ -1,0 +1,265 @@
+"""Append-only JSONL write-ahead log with segment rotation.
+
+The journal is the durability substrate of :mod:`repro.serve`: every
+state transition of every job (submit, start, requeue, done, breaker
+trips) is appended as one JSON line and fsync'd *before* the daemon
+acts on it, so a ``kill -9`` at any instant loses at most the record
+being written -- and replay on the next startup reconstructs exactly
+the pre-crash queue.
+
+Durability contract
+-------------------
+
+- **Append**: one JSON object per ``\\n``-terminated line.  With
+  ``fsync=True`` (the default) every append is flushed and fsync'd
+  before returning; an acknowledged record survives power loss.
+- **Torn-tail tolerance**: a crash mid-append can leave a final line
+  that is truncated or not newline-terminated.  Replay detects it,
+  drops it, and the writer truncates the segment back to the last good
+  byte before appending again -- a torn tail can never corrupt
+  subsequent records.  Corruption *before* the tail (bit rot, manual
+  edits) is not silently skipped: it raises :class:`JournalCorrupt`.
+- **Rotation**: when the live segment outgrows ``rotate_bytes`` the
+  caller provides a compacted record list (typically one snapshot of
+  the folded state); it is written to a *new* segment via write-temp +
+  fsync + ``os.replace`` and only then are older segments unlinked.  A
+  crash between the rename and the unlink leaves both segments; replay
+  reads segments in order and the snapshot record resets state, so the
+  overlap is harmless (idempotent replay).
+
+Segments are named ``NNNNNNNN.wal`` (monotonically increasing); the
+directory never contains anything else the journal owns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, List, Optional, Tuple
+
+from repro.runtime.fsio import atomic_write_text, fsync_dir
+
+SEGMENT_SUFFIX = ".wal"
+
+#: Default rotation threshold (bytes) for the live segment.
+DEFAULT_ROTATE_BYTES = 1 << 20
+
+
+class JournalCorrupt(ValueError):
+    """A journal segment is damaged somewhere other than its tail."""
+
+
+def _segment_name(index: int) -> str:
+    return f"{index:08d}{SEGMENT_SUFFIX}"
+
+
+def _segment_index(name: str) -> Optional[int]:
+    stem = name[: -len(SEGMENT_SUFFIX)]
+    if not name.endswith(SEGMENT_SUFFIX) or not stem.isdigit():
+        return None
+    return int(stem)
+
+
+def list_segments(directory: str) -> List[Tuple[int, str]]:
+    """(index, path) of every segment, ascending."""
+    if not os.path.isdir(directory):
+        return []
+    found = []
+    for name in os.listdir(directory):
+        index = _segment_index(name)
+        if index is not None:
+            found.append((index, os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def _read_segment(
+    path: str, is_last_segment: bool
+) -> Tuple[List[dict], int, bool]:
+    """Parse one segment.
+
+    Returns ``(records, good_bytes, torn)`` where ``good_bytes`` is the
+    byte offset after the last intact record and ``torn`` marks a
+    dropped tail.  A damaged line that is *not* the final line of the
+    final segment raises :class:`JournalCorrupt`.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: List[dict] = []
+    offset = 0
+    torn = False
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            # Unterminated final chunk: torn tail iff this is the live
+            # segment; a sealed (non-final) segment must be complete.
+            if not is_last_segment:
+                raise JournalCorrupt(
+                    f"{path}: unterminated record at byte {offset} in a "
+                    f"sealed segment"
+                )
+            torn = True
+            break
+        line = data[offset:newline]
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("record is not a JSON object")
+        except (ValueError, UnicodeDecodeError) as error:
+            if is_last_segment and newline == len(data) - 1 and (
+                data.find(b"\n", newline + 1) < 0
+            ):
+                # Damaged *final* line: torn write that got its newline
+                # out but not its payload.  Drop it.
+                torn = True
+                break
+            raise JournalCorrupt(
+                f"{path}: damaged record at byte {offset}: {error}"
+            ) from None
+        records.append(record)
+        offset = newline + 1
+    return records, offset, torn
+
+
+class Journal:
+    """One process's handle on the WAL directory (see module docstring).
+
+    Exactly one daemon may hold an open journal for appending; read-only
+    replay (status clients) uses :func:`replay_dir` instead.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        fsync: bool = True,
+    ) -> None:
+        self.directory = directory
+        self.rotate_bytes = rotate_bytes
+        self.fsync = fsync
+        self.torn_tail = False
+        self.appended = 0
+        self._handle = None
+        self._segment_index = 0
+        self._segment_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def open(self) -> List[dict]:
+        """Replay every segment and open the last for appending.
+
+        Returns the replayed records in append order.  A torn tail on
+        the live segment is dropped and truncated away (flagged on
+        ``self.torn_tail``).
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        segments = list_segments(self.directory)
+        records: List[dict] = []
+        if not segments:
+            self._segment_index = 1
+            path = os.path.join(self.directory, _segment_name(1))
+            self._handle = open(path, "ab")
+            self._segment_bytes = 0
+            return records
+        for position, (index, path) in enumerate(segments):
+            is_last = position == len(segments) - 1
+            seg_records, good_bytes, torn = _read_segment(path, is_last)
+            records.extend(seg_records)
+            if is_last:
+                self._segment_index = index
+                if torn:
+                    self.torn_tail = True
+                    with open(path, "r+b") as handle:
+                        handle.truncate(good_bytes)
+                        if self.fsync:
+                            os.fsync(handle.fileno())
+                self._handle = open(path, "ab")
+                self._segment_bytes = good_bytes
+        return records
+
+    @property
+    def segment_path(self) -> str:
+        return os.path.join(
+            self.directory, _segment_name(self._segment_index)
+        )
+
+    # ------------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (see the durability contract)."""
+        if self._handle is None:
+            raise RuntimeError("journal is not open")
+        line = (
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+        self._handle.write(line)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._segment_bytes += len(line)
+        self.appended += 1
+
+    def maybe_rotate(
+        self, compact: Callable[[], List[dict]]
+    ) -> bool:
+        """Rotate into a compacted segment when the live one is large.
+
+        ``compact()`` must return records that reconstruct the full
+        current state when replayed (typically one snapshot record plus
+        any non-terminal job records).  Returns True when rotation
+        happened.
+        """
+        if self._segment_bytes < self.rotate_bytes:
+            return False
+        self.rotate(compact())
+        return True
+
+    def rotate(self, records: List[dict]) -> None:
+        """Seal the live segment and start a new one holding ``records``."""
+        if self._handle is None:
+            raise RuntimeError("journal is not open")
+        old_segments = list_segments(self.directory)
+        next_index = self._segment_index + 1
+        text = "".join(
+            json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+            for r in records
+        )
+        path = os.path.join(self.directory, _segment_name(next_index))
+        atomic_write_text(path, text, durable=self.fsync)
+        # The new segment is durable; retire the handle, then the olds.
+        self._handle.close()
+        self._handle = open(path, "ab")
+        self._segment_index = next_index
+        self._segment_bytes = os.path.getsize(path)
+        for _index, old_path in old_segments:
+            try:
+                os.unlink(old_path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        if self.fsync:
+            fsync_dir(self.directory)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+
+def replay_dir(directory: str) -> List[dict]:
+    """Read-only replay of a journal directory (status clients).
+
+    Tolerates a torn tail without modifying anything; returns [] for a
+    missing/empty directory.
+    """
+    records: List[dict] = []
+    segments = list_segments(directory)
+    for position, (_index, path) in enumerate(segments):
+        seg_records, _good, _torn = _read_segment(
+            path, position == len(segments) - 1
+        )
+        records.extend(seg_records)
+    return records

@@ -233,3 +233,174 @@ class TestSimulate:
             ["simulate", str(path), "--signals", "q", "--cycles", "4"]
         ) == 0
         assert "q" in capsys.readouterr().out
+
+
+class TestParseErrorExitCode:
+    """Malformed design input: one clean diagnostic, exit 2 -- distinct
+    from usage errors (3) and from property verdicts (0/1)."""
+
+    def test_malformed_netlist_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.net"
+        path.write_text("circuit c\ngate y = FROB a\n")
+        assert main(["verify", str(path), "--target", "y=1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 2" in err
+        assert "FROB" in err
+        assert "Traceback" not in err
+
+    def test_binary_netlist_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.net"
+        path.write_bytes(b"\x00\x01\x02 definitely not text \xff\xfe")
+        assert main(["stats", str(path)]) == 2
+        assert "binary" in capsys.readouterr().err
+
+    def test_stats_also_uses_parse_exit(self, tmp_path, capsys):
+        path = tmp_path / "bad.net"
+        path.write_text("wire x\n")
+        assert main(["stats", str(path)]) == 2
+
+
+class TestServeCli:
+    def test_submit_serve_status_roundtrip(
+        self, true_netlist, tmp_path, capsys
+    ):
+        path, wd = true_netlist
+        queue_dir = str(tmp_path / "queue")
+        assert main(["submit", queue_dir, path, "--watchdog", wd]) == 0
+        assert "submitted j" in capsys.readouterr().out
+        assert main([
+            "serve", "--queue-dir", queue_dir, "--until-idle",
+            "--workers", "1", "--poll", "0.02",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["status", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert main(["status", queue_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"verified": 1}
+        assert payload["inbox_pending"] == 0
+
+    def test_submit_wait_times_out_without_daemon(
+        self, true_netlist, tmp_path, capsys
+    ):
+        path, wd = true_netlist
+        queue_dir = str(tmp_path / "queue")
+        code = main(["submit", queue_dir, path, "--watchdog", wd,
+                     "--wait", "--wait-timeout", "0.2"])
+        assert code == 3
+        assert "timed out" in capsys.readouterr().err
+
+    def test_submit_rejects_malformed_netlist(self, tmp_path, capsys):
+        bad = tmp_path / "bad.net"
+        bad.write_text("gate y = FROB a\n")
+        queue_dir = str(tmp_path / "queue")
+        code = main(["submit", queue_dir, str(bad), "--target", "y=1"])
+        assert code == 2  # rejected at the client, queue stays clean
+        assert not os.path.exists(os.path.join(queue_dir, "inbox"))
+
+
+def _write_corpus_instance(directory, circuit, prop, stem):
+    from repro.netlist import circuit_to_text
+
+    cube = ",".join(
+        f"{name}={value}" for name, value in sorted(prop.target.items())
+    )
+    text = f"# !property {prop.name} {cube}\n" + circuit_to_text(circuit)
+    path = directory / f"{stem}.net"
+    path.write_text(text)
+    return str(path)
+
+
+class TestBatchExitCodes:
+    """The batch ladder: falsified (1) > infrastructure (4) >
+    inconclusive (2) > all-verified (0)."""
+
+    def test_all_verified_exits_zero(self, tmp_path, capsys):
+        from repro.designs.counters import saturating_counter as sat
+
+        circuit, prop = sat(3, ceiling=5)
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        _write_corpus_instance(corpus, circuit, prop, "sat")
+        assert main(["batch", str(corpus)]) == 0
+        assert "verified=1" in capsys.readouterr().out
+
+    def test_falsified_dominates(self, tmp_path, capsys):
+        from tests.conftest import buggy_counter as buggy
+
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        circuit, prop = buggy()
+        _write_corpus_instance(corpus, circuit, prop, "buggy")
+        assert main(["batch", str(corpus)]) == 1
+
+    def test_unknown_exits_two_not_infra(self, tmp_path, capsys):
+        """A clean budget expiry is an inconclusive verdict, not an
+        infrastructure failure: exit 2, no [infra] marker."""
+        from tests.conftest import buggy_counter as buggy
+
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        circuit, prop = buggy()
+        _write_corpus_instance(corpus, circuit, prop, "buggy")
+        assert main(["batch", str(corpus), "--timeout", "0.0"]) == 2
+        assert "[infra]" not in capsys.readouterr().out
+
+    def test_infrastructure_exits_four(self, tmp_path, capsys,
+                                       monkeypatch):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        from tests.conftest import buggy_counter as buggy
+
+        circuit, prop = buggy()
+        _write_corpus_instance(corpus, circuit, prop, "buggy")
+
+        def fake_shards(args, items, strategies):
+            return [
+                {
+                    "path": path,
+                    "name": instance.name,
+                    "verdict": "error",
+                    "winner": None,
+                    "seconds": None,
+                    "detail": "worker died (exitcode -9)",
+                    "infrastructure": True,
+                }
+                for path, instance in items
+            ]
+
+        monkeypatch.setattr(cli, "_batch_shards", fake_shards)
+        report_path = str(tmp_path / "report.json")
+        code = main(["batch", str(corpus), "--report", report_path])
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "[infra]" in out
+        assert "infrastructure failure" in out
+        with open(report_path) as handle:
+            report = json.loads(handle.read())
+        assert len(report["infrastructure_failures"]) == 1
+        assert report["verdict_counts"] == {"error": 1}
+
+    def test_batch_serve_mode_reports_attempts(self, tmp_path, capsys):
+        from repro.designs.counters import saturating_counter as sat
+
+        circuit, prop = sat(3, ceiling=5)
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        _write_corpus_instance(corpus, circuit, prop, "sat")
+        report_path = str(tmp_path / "report.json")
+        code = main([
+            "batch", str(corpus), "--serve",
+            "--queue-dir", str(tmp_path / "queue"),
+            "--report", report_path,
+        ])
+        assert code == 0
+        with open(report_path) as handle:
+            report = json.loads(handle.read())
+        assert report["serve"] is True
+        record = report["instances"][0]
+        assert record["verdict"] == "verified"
+        assert record["attempts"] == 1
+        assert record["infrastructure"] is False

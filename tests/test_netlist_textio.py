@@ -92,3 +92,57 @@ class TestRoundTrip:
         c.add_register(a, init=None, output="q")
         rebuilt = circuit_from_text(circuit_to_text(c))
         assert rebuilt.registers["q"].init is None
+
+
+class TestParseDiagnostics:
+    """Malformed input surfaces as one typed error with file/line
+    context -- never a raw ValueError/IndexError traceback."""
+
+    def test_error_carries_line_number(self):
+        from repro.netlist import NetlistParseError
+
+        with pytest.raises(NetlistParseError) as excinfo:
+            circuit_from_text(
+                "circuit c\ninput a\ngate y = FROB a\n", path="bad.net"
+            )
+        error = excinfo.value
+        assert error.path == "bad.net"
+        assert error.line == 3
+        assert "bad.net" in str(error)
+        assert "line 3" in str(error)
+        assert "FROB" in str(error)
+
+    def test_builder_rejections_get_line_context(self):
+        from repro.netlist import NetlistParseError
+
+        # Duplicate signal definition: rejected by the circuit builder,
+        # not the line grammar -- still gets line context.
+        with pytest.raises(NetlistParseError) as excinfo:
+            circuit_from_text("input a\ninput a\n")
+        assert excinfo.value.line == 2
+
+    def test_binary_input_one_clean_diagnostic(self):
+        from repro.netlist import NetlistParseError
+
+        with pytest.raises(NetlistParseError) as excinfo:
+            circuit_from_text("circuit c\x00\x01\x02\n" + "\x07" * 500)
+        assert "binary" in str(excinfo.value)
+
+    def test_non_string_input_rejected(self):
+        from repro.netlist import NetlistParseError
+
+        with pytest.raises(NetlistParseError):
+            circuit_from_text(b"circuit c\n")
+
+    def test_truncated_reg_line(self):
+        from repro.netlist import NetlistParseError
+
+        with pytest.raises(NetlistParseError) as excinfo:
+            circuit_from_text("circuit c\nreg q =\n")
+        assert excinfo.value.line == 2
+
+    def test_parse_error_is_a_netlist_error(self):
+        from repro.netlist import NetlistParseError
+
+        # CLI handlers catch NetlistError; the subtype must flow there.
+        assert issubclass(NetlistParseError, NetlistError)

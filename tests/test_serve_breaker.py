@@ -1,0 +1,180 @@
+"""Tests for the per-strategy circuit breakers
+(:mod:`repro.serve.breaker`).
+
+All tests inject explicit clocks -- no sleeping, no flakiness.
+"""
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+def make(**kwargs):
+    kwargs.setdefault("cooldown_seconds", 10.0)
+    return CircuitBreaker("rfn", **kwargs)
+
+
+class TestTripping:
+    def test_closed_allows(self):
+        assert make().allow(now=0.0)
+
+    def test_trips_within_three_consecutive_failures(self):
+        """The acceptance contract: a 100% crash-looping engine is
+        quarantined after at most 3 attempts."""
+        breaker = make()
+        assert breaker.record(False, now=0.0) is None
+        assert breaker.record(False, now=1.0) is None
+        assert breaker.record(False, now=2.0) == OPEN
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=3.0)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make(min_samples=100)  # isolate the consecutive rule
+        breaker.record(False, now=0.0)
+        breaker.record(False, now=1.0)
+        breaker.record(True, now=2.0)
+        assert breaker.record(False, now=3.0) is None
+        assert breaker.state == CLOSED
+
+    def test_failure_rate_trip(self):
+        breaker = make(window=4, min_samples=4, threshold=0.5,
+                       consecutive_trip=100)
+        outcomes = [True, False, True, False]  # rate hits 0.5
+        transitions = [
+            breaker.record(ok, now=float(i))
+            for i, ok in enumerate(outcomes)
+        ]
+        assert transitions[-1] == OPEN
+
+    def test_below_min_samples_never_trips_on_rate(self):
+        breaker = make(min_samples=5, consecutive_trip=100)
+        assert breaker.record(False, now=0.0) is None
+        assert breaker.state == CLOSED
+
+
+class TestRecovery:
+    def trip(self, breaker, now=0.0):
+        for i in range(3):
+            breaker.record(False, now=now + i)
+        assert breaker.state == OPEN
+
+    def test_open_refuses_until_cooldown(self):
+        breaker = make()
+        self.trip(breaker)
+        assert not breaker.allow(now=5.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = make()
+        self.trip(breaker)
+        assert breaker.allow(now=13.0)  # past cooldown: the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(now=13.1)  # second probe refused
+
+    def test_probe_success_closes_and_resets(self):
+        breaker = make()
+        self.trip(breaker)
+        breaker.allow(now=13.0)
+        assert breaker.record(True, now=14.0) == CLOSED
+        assert breaker.failure_rate() == 0.0
+        assert breaker.cooldown == breaker.base_cooldown
+        assert breaker.allow(now=14.1)
+
+    def test_probe_failure_reopens_with_doubled_cooldown(self):
+        breaker = make()
+        self.trip(breaker)
+        breaker.allow(now=13.0)
+        assert breaker.record(False, now=14.0) == OPEN
+        assert breaker.cooldown == 20.0
+        assert not breaker.allow(now=14.0 + 19.0)
+        assert breaker.allow(now=14.0 + 21.0)
+
+    def test_cooldown_is_capped(self):
+        breaker = make(max_cooldown_seconds=25.0)
+        now = 0.0
+        for _ in range(5):  # repeated failed probes keep doubling
+            self.trip(breaker, now)
+            now += breaker.cooldown + 1.0
+            breaker.allow(now=now)
+            breaker.record(False, now=now)
+        assert breaker.cooldown == 25.0
+
+    def test_outcome_while_open_is_informational(self):
+        # A job admitted before the trip reports afterwards.
+        breaker = make()
+        self.trip(breaker)
+        assert breaker.record(True, now=5.0) is None
+        assert breaker.state == OPEN
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        breaker = make()
+        for ok in (True, False, False, False):
+            breaker.record(ok, now=0.0)
+        payload = breaker.to_json()
+        restored = make()
+        restored.load_json(payload)
+        assert restored.state == OPEN
+        assert restored.cooldown == breaker.cooldown
+        assert restored.trips == 0 or restored.trips == breaker.trips
+        assert list(restored.window) == list(breaker.window)
+        # The cooldown re-anchors to the restart instant: quarantine is
+        # delayed, never skipped.
+        assert not restored.allow()
+
+
+class TestBoard:
+    def test_filter_passes_healthy_strategies(self):
+        board = BreakerBoard()
+        assert board.filter(["bdd", "bmc"], now=0.0) == ["bdd", "bmc"]
+
+    def test_filter_drops_quarantined(self):
+        board = BreakerBoard(cooldown_seconds=10.0)
+        for _ in range(3):
+            board.record("rfn", ok=False, now=0.0)
+        assert board.filter(["rfn", "bmc"], now=1.0) == ["bmc"]
+
+    def test_all_quarantined_bypasses(self):
+        """A wedged board degrades to "try anyway", never to "serve
+        nothing"."""
+        board = BreakerBoard(cooldown_seconds=10.0)
+        for strategy in ("rfn", "bmc"):
+            for _ in range(3):
+                board.record(strategy, ok=False, now=0.0)
+        assert board.filter(["rfn", "bmc"], now=1.0) == ["rfn", "bmc"]
+        assert board.bypasses == 1
+
+    def test_transition_callback_fires(self):
+        seen = []
+        board = BreakerBoard(
+            on_transition=lambda s, state: seen.append((s, state)),
+            cooldown_seconds=10.0,
+        )
+        for _ in range(3):
+            board.record("rfn", ok=False, now=0.0)
+        assert seen == [("rfn", OPEN)]
+
+    def test_release_returns_unused_probe(self):
+        board = BreakerBoard(cooldown_seconds=1.0)
+        for _ in range(3):
+            board.record("rfn", ok=False, now=0.0)
+        assert board.filter(["rfn"], now=2.0) == ["rfn"]  # the probe
+        # The job never actually ran rfn (another engine won first):
+        # without release the breaker would deadlock half-open.
+        assert board.filter(["rfn"], now=2.1) == ["rfn"]  # bypass path
+        board.release("rfn")
+        assert board.breaker("rfn").probing is False
+
+    def test_board_json_roundtrip(self):
+        board = BreakerBoard(cooldown_seconds=10.0)
+        for _ in range(3):
+            board.record("rfn", ok=False, now=0.0)
+        board.record("bmc", ok=True, now=0.0)
+        restored = BreakerBoard(cooldown_seconds=10.0)
+        restored.load_json(board.to_json())
+        assert restored.breaker("rfn").state == OPEN
+        assert restored.breaker("bmc").state == CLOSED

@@ -1,0 +1,193 @@
+"""Tests for the write-ahead log (:mod:`repro.serve.journal`).
+
+Pins the durability contract: fsync'd appends replay exactly, a torn
+tail (crash mid-append) is dropped and truncated without harming
+later appends, non-tail corruption raises loudly, and rotation
+compacts without losing state.
+"""
+
+import os
+
+import pytest
+
+from repro.serve.journal import (
+    Journal,
+    JournalCorrupt,
+    list_segments,
+    replay_dir,
+)
+
+
+def make_journal(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return Journal(str(tmp_path / "journal"), **kwargs)
+
+
+class TestAppendReplay:
+    def test_empty_directory_replays_nothing(self, tmp_path):
+        journal = make_journal(tmp_path)
+        assert journal.open() == []
+        journal.close()
+
+    def test_roundtrip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        records = [{"type": "submit", "id": f"j{i}"} for i in range(5)]
+        for record in records:
+            journal.append(record)
+        journal.close()
+
+        reopened = make_journal(tmp_path)
+        assert reopened.open() == records
+        assert not reopened.torn_tail
+        reopened.close()
+
+    def test_replay_dir_is_read_only(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append({"type": "submit", "id": "a"})
+        journal.close()
+        path = str(tmp_path / "journal")
+        before = os.path.getsize(list_segments(path)[0][1])
+        assert replay_dir(path) == [{"type": "submit", "id": "a"}]
+        assert os.path.getsize(list_segments(path)[0][1]) == before
+
+    def test_replay_missing_directory(self, tmp_path):
+        assert replay_dir(str(tmp_path / "nothing")) == []
+
+    def test_append_requires_open(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            make_journal(tmp_path).append({"type": "x"})
+
+
+class TestTornTail:
+    def test_unterminated_tail_dropped_and_truncated(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append({"type": "submit", "id": "a"})
+        journal.append({"type": "submit", "id": "b"})
+        segment = journal.segment_path
+        journal.close()
+        with open(segment, "ab") as handle:
+            handle.write(b'{"type":"submit","id":"half')  # no newline
+
+        reopened = make_journal(tmp_path)
+        records = reopened.open()
+        assert [r["id"] for r in records] == ["a", "b"]
+        assert reopened.torn_tail
+        # The torn bytes are gone: a new append lands on a clean tail.
+        reopened.append({"type": "submit", "id": "c"})
+        reopened.close()
+        assert [r["id"] for r in replay_dir(str(tmp_path / "journal"))] \
+            == ["a", "b", "c"]
+
+    def test_damaged_terminated_final_line_dropped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append({"type": "submit", "id": "a"})
+        segment = journal.segment_path
+        journal.close()
+        with open(segment, "ab") as handle:
+            handle.write(b"}}}garbage{{{\n")  # newline made it, payload torn
+
+        reopened = make_journal(tmp_path)
+        assert [r["id"] for r in reopened.open()] == ["a"]
+        assert reopened.torn_tail
+        reopened.close()
+
+    def test_replay_dir_tolerates_torn_tail(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append({"type": "submit", "id": "a"})
+        segment = journal.segment_path
+        journal.close()
+        with open(segment, "ab") as handle:
+            handle.write(b'{"torn')
+        assert [r["id"]
+                for r in replay_dir(str(tmp_path / "journal"))] == ["a"]
+
+
+class TestCorruption:
+    def test_mid_file_damage_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append({"type": "submit", "id": "a"})
+        segment = journal.segment_path
+        journal.close()
+        with open(segment, "ab") as handle:
+            handle.write(b"not json\n")
+            handle.write(b'{"type":"submit","id":"b"}\n')
+        with pytest.raises(JournalCorrupt):
+            make_journal(tmp_path).open()
+        with pytest.raises(JournalCorrupt):
+            replay_dir(str(tmp_path / "journal"))
+
+    def test_non_object_record_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        segment = journal.segment_path
+        journal.close()
+        with open(segment, "ab") as handle:
+            handle.write(b"[1,2,3]\n")
+            handle.write(b'{"type":"ok"}\n')
+        with pytest.raises(JournalCorrupt):
+            make_journal(tmp_path).open()
+
+    def test_unterminated_sealed_segment_raises(self, tmp_path):
+        directory = tmp_path / "journal"
+        directory.mkdir()
+        (directory / "00000001.wal").write_bytes(b'{"type":"a"')
+        (directory / "00000002.wal").write_bytes(b'{"type":"b"}\n')
+        with pytest.raises(JournalCorrupt):
+            replay_dir(str(directory))
+
+
+class TestRotation:
+    def test_rotate_compacts_and_unlinks_old_segments(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        for i in range(10):
+            journal.append({"type": "submit", "id": f"j{i}"})
+        journal.rotate([{"type": "snapshot", "jobs": ["compact"]}])
+        journal.append({"type": "submit", "id": "after"})
+        journal.close()
+
+        directory = str(tmp_path / "journal")
+        segments = list_segments(directory)
+        assert len(segments) == 1
+        assert segments[0][0] == 2  # monotonically increasing index
+        assert replay_dir(directory) == [
+            {"type": "snapshot", "jobs": ["compact"]},
+            {"type": "submit", "id": "after"},
+        ]
+
+    def test_maybe_rotate_honours_threshold(self, tmp_path):
+        journal = make_journal(tmp_path, rotate_bytes=200)
+        journal.open()
+        assert not journal.maybe_rotate(lambda: [])
+        while not journal.maybe_rotate(
+            lambda: [{"type": "snapshot"}]
+        ):
+            journal.append({"type": "submit", "id": "x" * 20})
+        journal.close()
+        records = replay_dir(str(tmp_path / "journal"))
+        assert records[0] == {"type": "snapshot"}
+
+    def test_replay_survives_leftover_pre_rotation_segment(self, tmp_path):
+        """A crash between the new segment's rename and the old
+        segments' unlink leaves both on disk; the snapshot record
+        resets state so replay stays correct."""
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append({"type": "submit", "id": "old"})
+        journal.close()
+        directory = tmp_path / "journal"
+        (directory / "00000002.wal").write_bytes(
+            b'{"type":"snapshot","jobs":[]}\n'
+            b'{"type":"submit","id":"new"}\n'
+        )
+        records = replay_dir(str(directory))
+        # Old segment replays first, snapshot then resets the fold.
+        assert records[0]["id"] == "old"
+        assert records[1]["type"] == "snapshot"
+        assert records[2]["id"] == "new"
