@@ -12,19 +12,19 @@ Commands
                per-engine circuit breakers)
 ``submit``     file-protocol client: enqueue one netlist on a serve queue
 ``status``     file-protocol client: show a serve queue's state
+``engines``    list the registered verification engines (``--json``)
 ``trace``      validate/export an obs trace (Chrome JSON, folded stacks)
 ``report``     human-readable run report from an obs trace
 
 Netlists use the text format of :mod:`repro.netlist.textio` (see
-``examples/netlist_files.py``).  Exit codes for ``verify``: 0 = property
-holds, 1 = falsified, 2 = resource limit reached, 3 = usage error.
-For ``fuzz``: 0 = all engines agreed and every certificate held,
-1 = at least one finding (reproducers are shrunk into the corpus).
-For ``batch``: 0 = every instance verified, 1 = at least one falsified,
-4 = infrastructure failure (worker death / retries exhausted -- never
-conflated with a property FAIL), 2 = at least one unknown/skipped.
-``submit --wait`` mirrors the batch ladder, plus 75 = RETRY_LATER
-(admission control shed the job; back off and resubmit).
+``examples/netlist_files.py``).  Exit codes come from one place --
+:func:`repro.engine.verdict_to_exit` -- shared by ``verify``, ``batch``
+and ``submit --wait``: 0 = verified, 1 = falsified, 2 = inconclusive,
+3 = usage error, 4 = infrastructure failure (worker death / retries
+exhausted -- never conflated with a property FAIL), 75 = RETRY_LATER
+(admission control shed the job; back off and resubmit).  For ``fuzz``:
+0 = all engines agreed and every certificate held, 1 = at least one
+finding (reproducers are shrunk into the corpus).
 """
 
 from __future__ import annotations
@@ -38,7 +38,15 @@ from typing import Dict, List, Optional
 
 from repro.aig import aig_to_circuit, circuit_to_aig, parse_aiger, to_aiger
 from repro.aig.convert import strash_circuit
-from repro.core import RfnConfig, RfnStatus, UnreachabilityProperty, rfn_verify
+from repro.core import RfnConfig, UnreachabilityProperty, rfn_verify
+from repro.engine import (
+    Limits,
+    Verdict,
+    batch_exit,
+    registry,
+    result_exit,
+    verdict_to_exit,
+)
 from repro.core.coverage import (
     CoverageAnalyzer,
     CoverageConfig,
@@ -230,9 +238,12 @@ def cmd_verify(args) -> int:
         print(f"BMC: {result.outcome.value} at depth {result.depth}"
               f"{extra} in {result.seconds:.2f}s")
         trace = result.trace
-        status_code = {"true": 0, "false": 1, "unknown": 2}[
-            result.outcome.value
-        ]
+        status_code = verdict_to_exit(
+            {
+                BmcOutcome.FALSE: Verdict.FALSIFIED,
+                BmcOutcome.TRUE: Verdict.VERIFIED,
+            }.get(result.outcome, Verdict.UNKNOWN)
+        )
     elif args.engine == "smc":
         max_seconds = args.max_seconds
         if args.timeout is not None:
@@ -252,9 +263,12 @@ def cmd_verify(args) -> int:
               f"({result.coi_registers} COI registers, "
               f"{result.seconds:.2f}s)")
         trace = result.trace
-        status_code = {"true": 0, "false": 1, "resource_out": 2}[
-            result.outcome.value
-        ]
+        status_code = verdict_to_exit(
+            {
+                "false": Verdict.FALSIFIED,
+                "true": Verdict.VERIFIED,
+            }.get(result.outcome.value, Verdict.UNKNOWN)
+        )
     elif args.engine == "portfolio":
         from repro.parallel import STRATEGY_ORDER, race
 
@@ -284,8 +298,31 @@ def cmd_verify(args) -> int:
         for envelope in outcome.envelopes:
             print(f"  {envelope.strategy}: {envelope.verdict} "
                   f"({envelope.detail}) in {envelope.seconds:.2f}s")
+        if outcome.disagreement:
+            print(f"  DISAGREEMENT: {outcome.disagreement}")
         trace = outcome.trace
-        status_code = {"verified": 0, "falsified": 1}.get(outcome.verdict, 2)
+        status_code = verdict_to_exit(outcome.verdict)
+    elif args.engine in registry and args.engine != "rfn":
+        budget = (
+            Budget(max_seconds=args.timeout)
+            if args.timeout is not None
+            else None
+        )
+        engine = registry.get(args.engine)
+        result = engine.run(
+            circuit,
+            prop,
+            Limits(
+                max_seconds=args.max_seconds,
+                max_depth=args.max_depth,
+                budget=budget,
+            ),
+        )
+        witness = f" [{result.witness}]" if result.witness else ""
+        print(f"{engine.name}: {result.verdict} ({result.detail}) "
+              f"in {result.seconds:.2f}s{witness}")
+        trace = result.trace
+        status_code = verdict_to_exit(result.verdict)
     else:
         budget = (
             Budget(max_seconds=args.timeout)
@@ -337,11 +374,7 @@ def cmd_verify(args) -> int:
         if rfn_result.checkpoint_path:
             print(f"checkpoint written to {rfn_result.checkpoint_path}")
         trace = rfn_result.trace
-        status_code = {
-            RfnStatus.VERIFIED: 0,
-            RfnStatus.FALSIFIED: 1,
-            RfnStatus.RESOURCE_OUT: 2,
-        }[rfn_result.status]
+        status_code = verdict_to_exit(rfn_result.status)
 
     if trace is not None:
         if args.vcd:
@@ -722,13 +755,7 @@ def cmd_batch(args) -> int:
     # infrastructure failure is its own code (4) so CI can tell "the
     # design is buggy" from "the farm is buggy"; otherwise inconclusive
     # verdicts (unknown/skipped) exit 2.
-    if counts.get("falsified"):
-        return 1
-    if infra:
-        return 4
-    if len(counts) == 1 and counts.get("verified"):
-        return 0
-    return 2
+    return batch_exit(counts, infrastructure=len(infra))
 
 
 def cmd_serve(args) -> int:
@@ -789,17 +816,26 @@ def cmd_submit(args) -> int:
     result = results[job.id]
     if result is None:
         print("error: timed out waiting for a result", file=sys.stderr)
-        return 3
-    if result.get("reply") == RETRY_LATER:
+    elif result.get("reply") == RETRY_LATER:
         print(f"{job.id}: {RETRY_LATER} ({result.get('detail', '')})",
               file=sys.stderr)
-        return 75  # EX_TEMPFAIL: back off and resubmit
-    verdict = result.get("verdict")
-    infra = " [infrastructure]" if result.get("infrastructure") else ""
-    print(f"{job.id}: {verdict}{infra} ({result.get('detail', '')})")
-    if result.get("infrastructure"):
-        return 4
-    return {"verified": 0, "falsified": 1}.get(verdict, 2)
+    else:
+        verdict = result.get("verdict")
+        infra = " [infrastructure]" if result.get("infrastructure") else ""
+        print(f"{job.id}: {verdict}{infra} ({result.get('detail', '')})")
+    return result_exit(result)
+
+
+def cmd_engines(args) -> int:
+    rows = registry.describe()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    for row in rows:
+        caps = ", ".join(row["capabilities"])
+        print(f"{row['name']:<12} {row['description']}")
+        print(f"{'':<12} capabilities: {caps}")
+    return 0
 
 
 def cmd_status(args) -> int:
@@ -842,7 +878,15 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--target", help="target cube, e.g. 'bad=1,mode=0'")
     p_verify.add_argument("--name", default="property")
     p_verify.add_argument(
-        "--engine", choices=("rfn", "smc", "bmc", "portfolio"), default="rfn"
+        "--engine",
+        choices=(
+            "rfn", "smc", "bmc", "portfolio",
+            "bdd", "kinduction", "kernel", "atpg",
+        ),
+        default="rfn",
+        help="rfn/smc/bmc/portfolio keep their bespoke reporting; any "
+        "other registered engine (see 'repro engines') runs through "
+        "the canonical repro.engine entrypoint",
     )
     p_verify.add_argument(
         "--jobs", type=int, default=0,
@@ -1079,6 +1123,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument("--wait-timeout", type=float, default=None)
     p_submit.set_defaults(func=cmd_submit)
+
+    p_engines = sub.add_parser(
+        "engines",
+        help="list the registered verification engines and their "
+        "capability tags",
+    )
+    p_engines.add_argument("--json", action="store_true")
+    p_engines.set_defaults(func=cmd_engines)
 
     p_status = sub.add_parser(
         "status",

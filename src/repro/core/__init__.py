@@ -19,7 +19,6 @@ from repro.core.rfn import (
     RFN,
     RfnConfig,
     RfnResult,
-    RfnStatus,
     rfn_verify,
 )
 from repro.trace import Trace
@@ -29,7 +28,6 @@ __all__ = [
     "RFN",
     "RfnConfig",
     "RfnResult",
-    "RfnStatus",
     "Trace",
     "UnreachabilityProperty",
     "rfn_verify",

@@ -33,12 +33,12 @@ Use :func:`rfn_verify` when you need the never-raises contract.
 
 from __future__ import annotations
 
-import enum
 import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.atpg.engine import AtpgBudget
+from repro.engine import Verdict
 from repro.core.abstraction import Abstraction
 from repro.core.guided import GuidedSearchResult, guided_concrete_search
 from repro.core.hybrid import HybridEngineError, HybridTraceEngine
@@ -58,10 +58,10 @@ from repro.runtime.checkpoint import RfnCheckpoint
 from repro.runtime.supervisor import CONTAINED, AbortInfo, Supervisor
 
 
-class RfnStatus(enum.Enum):
-    VERIFIED = "verified"  # property True on the original design
-    FALSIFIED = "falsified"  # concrete error trace found
-    RESOURCE_OUT = "resource_out"
+# The CEGAR loop reports through the canonical verdict algebra: a
+# resource wall is Verdict.UNKNOWN with ``failure``/``detail`` saying
+# which engine and which resource (checkpoint files keep recording the
+# historical "resource_out" status string).
 
 
 @dataclass
@@ -146,7 +146,7 @@ class RfnIteration:
 
 @dataclass
 class RfnResult:
-    status: RfnStatus
+    status: Verdict
     prop: UnreachabilityProperty
     iterations: List[RfnIteration] = field(default_factory=list)
     kept_registers: List[str] = field(default_factory=list)
@@ -174,11 +174,11 @@ class RfnResult:
 
     @property
     def verified(self) -> bool:
-        return self.status is RfnStatus.VERIFIED
+        return self.status is Verdict.VERIFIED
 
     @property
     def falsified(self) -> bool:
-        return self.status is RfnStatus.FALSIFIED
+        return self.status is Verdict.FALSIFIED
 
 
 class RFN:
@@ -337,18 +337,17 @@ class RFN:
         iterations = self.iterations
 
         def finish(
-            status: RfnStatus,
+            status: Verdict,
             trace: Optional[Trace] = None,
             abstract_trace: Optional[Trace] = None,
             detail: str = "",
             failure: Optional[AbortInfo] = None,
         ) -> RfnResult:
             elapsed = time.monotonic() - start
-            ckpt_status = {
-                RfnStatus.VERIFIED: "verified",
-                RfnStatus.FALSIFIED: "falsified",
-                RfnStatus.RESOURCE_OUT: "resource_out",
-            }[status]
+            # Checkpoint files keep their historical status vocabulary:
+            # a definite verdict records its wire string, anything else
+            # records "resource_out".
+            ckpt_status = status.value if status.definite else "resource_out"
             self._close_iter_span(
                 ckpt_status, iterations[-1] if iterations else None
             )
@@ -375,13 +374,13 @@ class RFN:
             if config.max_seconds is not None and (
                 time.monotonic() - start > config.max_seconds
             ):
-                return finish(RfnStatus.RESOURCE_OUT, detail="time limit")
+                return finish(Verdict.UNKNOWN, detail="time limit")
             if budget is not None:
                 try:
                     budget.checkpoint(engine="rfn")
                 except EngineAbort as abort:
                     return finish(
-                        RfnStatus.RESOURCE_OUT,
+                        Verdict.UNKNOWN,
                         failure=AbortInfo.from_exception("rfn", abort),
                     )
             iter_start = time.monotonic()
@@ -413,7 +412,7 @@ class RFN:
                         f"({outcome.winner}) proved the abstract model: "
                         f"property VERIFIED"
                     )
-                    verdict = finish(RfnStatus.VERIFIED)
+                    verdict = finish(Verdict.VERIFIED)
                     verdict.abstract_model = model
                     return verdict
                 if not outcome.falsified:
@@ -428,7 +427,7 @@ class RFN:
                         )
                     )
                     return finish(
-                        RfnStatus.RESOURCE_OUT,
+                        Verdict.UNKNOWN,
                         detail=(
                             "abstract-model race inconclusive: "
                             f"{failure.describe()}"
@@ -467,7 +466,7 @@ class RFN:
                             f"proved the property ({len(approx.blocks)} blocks, "
                             f"{approx.passes} passes)"
                         )
-                        return finish(RfnStatus.VERIFIED)
+                        return finish(Verdict.VERIFIED)
 
                 def reach_step(attempt: int):
                     limits = config.reach_limits
@@ -544,7 +543,7 @@ class RFN:
                     record.reach_outcome = "resource_out"
                     record.seconds = time.monotonic() - iter_start
                     return finish(
-                        RfnStatus.RESOURCE_OUT,
+                        Verdict.UNKNOWN,
                         detail=(
                             "reachability resource limit on abstract model: "
                             f"{step.abort.describe()}"
@@ -565,7 +564,7 @@ class RFN:
                             f"closed at depth {bmc_result.induction_depth}: "
                             f"property VERIFIED"
                         )
-                        verdict = finish(RfnStatus.VERIFIED)
+                        verdict = finish(Verdict.VERIFIED)
                         verdict.abstract_model = model
                         return verdict
                     record.reach_outcome = "bmc_counterexample"
@@ -584,7 +583,7 @@ class RFN:
                         self._log(
                             f"[iter {index}] fixpoint: property VERIFIED"
                         )
-                        verdict = finish(RfnStatus.VERIFIED)
+                        verdict = finish(Verdict.VERIFIED)
                         verdict.abstract_model = model
                         verdict.invariant = reach.reached
                         verdict.invariant_encoding = encoding
@@ -654,7 +653,7 @@ class RFN:
                     if not step.ok:
                         record.seconds = time.monotonic() - iter_start
                         return finish(
-                            RfnStatus.RESOURCE_OUT,
+                            Verdict.UNKNOWN,
                             detail=f"hybrid engine: {step.abort.describe()}",
                             failure=step.abort,
                         )
@@ -708,14 +707,14 @@ class RFN:
                             f"via {guided.method}: property FALSIFIED"
                         )
                         return finish(
-                            RfnStatus.FALSIFIED,
+                            Verdict.FALSIFIED,
                             trace=guided.trace,
                             abstract_trace=abstract_trace,
                         )
                 elif supervisor.budget_exhausted:
                     record.seconds = time.monotonic() - iter_start
                     return finish(
-                        RfnStatus.RESOURCE_OUT,
+                        Verdict.UNKNOWN,
                         abstract_trace=abstract_trace,
                         detail=f"guided search: {step.abort.describe()}",
                         failure=step.abort,
@@ -767,7 +766,7 @@ class RFN:
             if not step.ok:
                 record.seconds = time.monotonic() - iter_start
                 return finish(
-                    RfnStatus.RESOURCE_OUT,
+                    Verdict.UNKNOWN,
                     abstract_trace=abstract_trace,
                     detail=f"refinement: {step.abort.describe()}",
                     failure=step.abort,
@@ -800,7 +799,7 @@ class RFN:
                 record.refinement_added = added
                 if added == 0:
                     return finish(
-                        RfnStatus.RESOURCE_OUT,
+                        Verdict.UNKNOWN,
                         abstract_trace=abstract_trace,
                         detail=(
                             "refinement made no progress (abstract trace "
@@ -816,7 +815,7 @@ class RFN:
                 self.save_checkpoint(
                     "in_progress", time.monotonic() - start
                 )
-        return finish(RfnStatus.RESOURCE_OUT, detail="iteration limit")
+        return finish(Verdict.UNKNOWN, detail="iteration limit")
 
 
 def rfn_verify(
@@ -867,7 +866,7 @@ def rfn_verify(
     except OSError:
         pass
     return RfnResult(
-        status=RfnStatus.RESOURCE_OUT,
+        status=Verdict.UNKNOWN,
         prop=prop,
         iterations=list(rfn.iterations),
         kept_registers=sorted(rfn.abstraction.kept_registers),

@@ -1,0 +1,85 @@
+"""The one exit-code ladder for every CLI surface.
+
+Severity order (what wins when a batch mixes outcomes)::
+
+    falsified (1)  >  infrastructure (4)  >  inconclusive (2)
+                   >  verified (0)
+
+plus the out-of-band codes: ``3`` for usage errors, ``75`` (EX_TEMPFAIL)
+when a loaded service sheds a job with ``RETRY_LATER``, and ``130`` for
+an interrupt.  ``cli.py``, ``serve.client`` and the batch runner all
+call into this module; nothing else may spell an exit code.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.engine.verdict import Verdict
+
+EXIT_VERIFIED = 0
+EXIT_FALSIFIED = 1
+EXIT_INCONCLUSIVE = 2
+EXIT_USAGE = 3
+EXIT_INFRASTRUCTURE = 4
+EXIT_RETRY_LATER = 75  # EX_TEMPFAIL: the service shed the job
+EXIT_INTERRUPTED = 130
+
+
+def verdict_to_exit(
+    verdict: Union[Verdict, str, None],
+    *,
+    infrastructure: bool = False,
+) -> int:
+    """Exit code for one verification outcome.
+
+    ``infrastructure`` forces the infrastructure code regardless of the
+    verdict (a job whose retries were exhausted is a service failure
+    even though its recorded verdict is ``error`` anyway).  ``None`` or
+    an unrecognized verdict string count as inconclusive.
+    """
+    if infrastructure:
+        return EXIT_INFRASTRUCTURE
+    if verdict is None:
+        return EXIT_INCONCLUSIVE
+    try:
+        verdict = Verdict.coerce(verdict)
+    except ValueError:
+        return EXIT_INCONCLUSIVE
+    if verdict is Verdict.VERIFIED:
+        return EXIT_VERIFIED
+    if verdict is Verdict.FALSIFIED:
+        return EXIT_FALSIFIED
+    if verdict is Verdict.ERROR:
+        return EXIT_INFRASTRUCTURE
+    return EXIT_INCONCLUSIVE
+
+
+def batch_exit(counts: Mapping[str, int], infrastructure: int = 0) -> int:
+    """Exit code for a batch of verdict counts (keys are verdict wire
+    strings, e.g. a ``Counter`` over result records).
+
+    A single falsification dominates everything -- that is the finding
+    the batch exists to surface; infrastructure failures outrank mere
+    inconclusiveness; all-verified is the only success.
+    """
+    if counts.get(Verdict.FALSIFIED):
+        return EXIT_FALSIFIED
+    if infrastructure:
+        return EXIT_INFRASTRUCTURE
+    if len(counts) == 1 and counts.get(Verdict.VERIFIED):
+        return EXIT_VERIFIED
+    return EXIT_INCONCLUSIVE
+
+
+def result_exit(result: Optional[dict]) -> int:
+    """Exit code for one service result payload (a ``results/`` file or
+    a shed reply)."""
+    if result is None:
+        return EXIT_USAGE
+    if result.get("reply") == "RETRY_LATER":
+        return EXIT_RETRY_LATER
+    return verdict_to_exit(
+        result.get("verdict"),
+        infrastructure=bool(result.get("infrastructure")),
+    )

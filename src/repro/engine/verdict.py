@@ -1,0 +1,155 @@
+"""The canonical verdict algebra shared by every verification layer.
+
+Every engine in this repo -- the CEGAR loop, the SAT engines, BDD
+reachability, the exhaustive kernel, ATPG -- answers the same question:
+*is the property's target cube reachable?*  This module is the one
+place that answer is spelled.  A verdict is one of four values:
+
+- ``VERIFIED``   -- the target is unreachable (property holds),
+- ``FALSIFIED``  -- a concrete counterexample trace exists,
+- ``UNKNOWN``    -- the engine ran out of resources or is incomplete,
+- ``ERROR``      -- the engine itself malfunctioned (a crash, not an
+  abort: aborts are ``UNKNOWN`` with an :class:`AbortInfo` attached).
+
+``Verdict`` subclasses ``str`` so members compare, hash, format and
+JSON-serialize exactly like the bare literals they replace: a verdict
+travels through a pickle pipe, a journal line, or a result file as the
+plain string ``"verified"``, and ``Verdict("verified")`` recovers the
+member on the far side.  (``enum.StrEnum`` would be the modern spelling
+but the support floor is Python 3.9.)
+
+The algebra
+-----------
+
+Verdicts form a partial information order: ``UNKNOWN`` says nothing,
+``ERROR`` says "something ran and misbehaved" (strictly more alarming
+than nothing), and the two definite verdicts sit incomparably at the
+top::
+
+        VERIFIED        FALSIFIED
+               \\        /
+                 ERROR
+                   |
+                UNKNOWN
+
+:meth:`Verdict.join` is the least upper bound -- *definite wins*: it is
+how a portfolio race or an oracle panel combines independent answers
+about the **same** instance.  Because every engine here is sound, two
+definite answers can never conflict; ``join(VERIFIED, FALSIFIED)``
+therefore raises :class:`DisagreeError` instead of picking a winner --
+a disagreement is a soundness bug in an engine (or an injected fault),
+never a result.
+
+:meth:`Verdict.meet` is the greatest lower bound -- *doubt wins*: the
+strongest claim **all** parties support, used when answers must be
+unanimous.  ``meet(VERIFIED, FALSIFIED)`` raises the same
+:class:`DisagreeError` (there is no common ground below two
+contradictory proofs other than pretending neither happened, which
+would hide the soundness bug).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from typing import Iterable
+
+
+class DisagreeError(ValueError):
+    """Two sound engines produced contradictory definite verdicts.
+
+    This is never a legitimate outcome -- soundness means every definite
+    answer is correct -- so the algebra refuses to absorb it into a
+    lattice value and forces the caller to treat it as a finding (the
+    fuzz oracle) or an infrastructure failure (the portfolio).
+    """
+
+    def __init__(self, left: "Verdict", right: "Verdict") -> None:
+        self.left = left
+        self.right = right
+        super().__init__(f"engines disagree: {left.value} vs {right.value}")
+
+
+class Verdict(str, enum.Enum):
+    """Canonical engine verdict; a ``str`` subclass for wire-format
+    compatibility (pickles, JSON journals and result files carry the
+    bare value)."""
+
+    VERIFIED = "verified"
+    FALSIFIED = "falsified"
+    UNKNOWN = "unknown"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # "verified", not "Verdict.VERIFIED"
+        return self.value
+
+    __format__ = str.__format__
+
+    @property
+    def definite(self) -> bool:
+        """True for the two sound, conclusive verdicts."""
+        return self in _DEFINITE
+
+    @classmethod
+    def coerce(cls, value: "Verdict | str") -> "Verdict":
+        """Member for a verdict or its wire string; raises ``ValueError``
+        on anything else."""
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+    def join(self, other: "Verdict") -> "Verdict":
+        """Least upper bound: definite wins, ``ERROR`` beats
+        ``UNKNOWN``; contradictory definites raise
+        :class:`DisagreeError`."""
+        if self is other:
+            return self
+        if self.definite and other.definite:
+            raise DisagreeError(self, other)
+        return self if _RANK[self] >= _RANK[other] else other
+
+    def meet(self, other: "Verdict") -> "Verdict":
+        """Greatest lower bound: doubt wins (the weaker claim of the
+        two); contradictory definites raise :class:`DisagreeError`."""
+        if self is other:
+            return self
+        if self.definite and other.definite:
+            raise DisagreeError(self, other)
+        return self if _RANK[self] <= _RANK[other] else other
+
+
+#: Height in the information order.  The two definite verdicts share the
+#: top rank but are incomparable -- join/meet special-case that pair
+#: before consulting the rank.
+_RANK = {
+    Verdict.UNKNOWN: 0,
+    Verdict.ERROR: 1,
+    Verdict.VERIFIED: 2,
+    Verdict.FALSIFIED: 2,
+}
+
+_DEFINITE = (Verdict.VERIFIED, Verdict.FALSIFIED)
+
+#: The sound, conclusive verdicts (public alias).
+DEFINITE = _DEFINITE
+
+
+def join_all(
+    verdicts: Iterable[Verdict], default: Verdict = Verdict.UNKNOWN
+) -> Verdict:
+    """Fold :meth:`Verdict.join` over a collection (``default`` for an
+    empty one).  Raises :class:`DisagreeError` on the first conflict --
+    the portfolio and the fuzz oracle both detect disagreement through
+    exactly this call."""
+    return functools.reduce(Verdict.join, verdicts, default)
+
+
+def meet_all(
+    verdicts: Iterable[Verdict], default: Verdict = Verdict.UNKNOWN
+) -> Verdict:
+    """Fold :meth:`Verdict.meet` over a collection (``default`` for an
+    empty one)."""
+    verdicts = list(verdicts)
+    if not verdicts:
+        return default
+    return functools.reduce(Verdict.meet, verdicts)

@@ -1,7 +1,8 @@
 """The differential oracle: one instance, every engine, one verdict.
 
 Each engine answers "is the property's target cube reachable?" through a
-completely different mechanism:
+completely different mechanism (all resolved through the adapters of
+:mod:`repro.engine`):
 
 - ``bmc``     -- SAT bounded model checking with simple-path k-induction,
 - ``bdd``     -- BDD forward reachability on the COI-reduced design,
@@ -10,10 +11,12 @@ completely different mechanism:
   function evaluated by the bit-parallel kernel simulator (a complete
   ground truth on the small circuits the fuzzer generates).
 
-Verdicts are normalized to VERIFIED / FALSIFIED / UNKNOWN; UNKNOWN
-(a resource limit) never counts as disagreement.  Every verdict that
-carries an artifact is independently certified through
-:mod:`repro.core.certify`:
+Verdicts are the canonical :class:`repro.engine.Verdict`; UNKNOWN
+(a resource limit) never counts as disagreement.  Consensus and
+disagreement detection are both a fold over :meth:`Verdict.join` --
+the same code path the portfolio uses -- so the two layers cannot drift
+apart on what "engines disagree" means.  Every verdict that carries an
+artifact is independently certified through :mod:`repro.core.certify`:
 
 - FALSIFIED traces are replayed on the simulator (``certify_error_trace``),
 - VERIFIED answers with an inductive-invariant BDD (``bdd`` fixpoints and
@@ -30,34 +33,30 @@ a finding: :attr:`OracleReport.ok` is False and the shrinker takes over.
 
 from __future__ import annotations
 
-import enum
 import itertools
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.certify import certify_error_trace, certify_invariant
 from repro.core.property import UnreachabilityProperty
-from repro.core.rfn import RFN, RfnConfig, RfnStatus
-from repro.kernel import BitParallelSimulator
-from repro.kernel.bitsim import pack_lanes, planes_value
-from repro.mc.bmc import BmcOutcome, bmc
-from repro.mc.checker import _extract_error_trace
-from repro.mc.encode import SymbolicEncoding
-from repro.mc.images import ImageComputer
-from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
+from repro.engine import (
+    DisagreeError,
+    Limits,
+    Verdict,
+    VerifyResult,
+    join_all,
+)
+from repro.engine.adapters import (
+    BddReachEngine,
+    KernelBfsEngine,
+    KInductionEngine,
+    RfnEngine,
+)
 from repro.netlist.circuit import Circuit
-from repro.netlist.ops import coi_registers, extract_subcircuit
 from repro.runtime.abort import EngineAbort
 from repro.runtime.budget import Budget
 from repro.trace import Trace
-
-
-class Verdict(enum.Enum):
-    VERIFIED = "verified"
-    FALSIFIED = "falsified"
-    UNKNOWN = "unknown"
-    ERROR = "error"
 
 
 @dataclass(frozen=True)
@@ -90,9 +89,31 @@ class EngineVerdict:
     detail: str = ""
     seconds: float = 0.0
     trace: Optional[Trace] = None
+    #: witness kind for definite verdicts (``repro.engine`` constants)
+    witness: Optional[str] = None
     # Certification outcome: None = no artifact to check.
     certificate: Optional[str] = None
     certificate_detail: str = ""
+    #: process-local proof artifacts for ``certify_invariant`` (never
+    #: serialized)
+    invariant: Optional[object] = None
+    invariant_encoding: Optional[object] = None
+
+    @classmethod
+    def from_result(cls, engine: str, result: VerifyResult) -> "EngineVerdict":
+        """Oracle view of a :class:`VerifyResult` (the oracle keeps its
+        own engine naming: its ``bmc`` entry is the k-induction
+        adapter)."""
+        return cls(
+            engine=engine,
+            verdict=result.verdict,
+            detail=result.detail,
+            seconds=result.seconds,
+            trace=result.trace,
+            witness=result.witness,
+            invariant=result.invariant,
+            invariant_encoding=result.invariant_encoding,
+        )
 
     def to_json(self) -> dict:
         return {
@@ -101,6 +122,7 @@ class EngineVerdict:
             "detail": self.detail,
             "seconds": round(self.seconds, 4),
             "trace_length": None if self.trace is None else self.trace.length,
+            "witness": self.witness,
             "certificate": self.certificate,
             "certificate_detail": self.certificate_detail,
         }
@@ -123,15 +145,18 @@ class OracleReport:
 
     @property
     def consensus(self) -> Optional[Verdict]:
-        """The agreed definite verdict, or None if there is none."""
-        definite = {
-            v.verdict
-            for v in self.verdicts
-            if v.verdict in (Verdict.VERIFIED, Verdict.FALSIFIED)
-        }
-        if len(definite) == 1:
-            return next(iter(definite))
-        return None
+        """The agreed definite verdict, or None if there is none.
+
+        A fold over :meth:`Verdict.join` -- identical to the portfolio's
+        disagreement detection; a conflict (a finding, recorded in
+        ``disagreements``) yields no consensus."""
+        try:
+            joined = join_all(
+                v.verdict for v in self.verdicts if v.verdict.definite
+            )
+        except DisagreeError:
+            return None
+        return joined if joined.definite else None
 
     def verdict_of(self, engine: str) -> Optional[EngineVerdict]:
         for v in self.verdicts:
@@ -163,6 +188,11 @@ class OracleReport:
 # ----------------------------------------------------------------------
 # Engines
 # ----------------------------------------------------------------------
+#
+# Each runner maps the oracle's per-engine budget knobs onto the
+# adapter's Limits and runs with contain=False: run_oracle classifies
+# raised aborts itself (a budget stop is a resource limit, an arbitrary
+# crash is a finding), exactly as it always has.
 
 
 def _run_bmc(
@@ -171,34 +201,17 @@ def _run_bmc(
     # With simple-path constraints k-induction is complete at the
     # recurrence diameter; cap the unrolling at the state-count bound.
     depth = min(config.bmc_max_depth, (1 << circuit.num_registers) + 2)
-    result = bmc(
+    result = KInductionEngine().run(
         circuit,
         prop,
-        max_depth=depth,
-        max_conflicts=config.bmc_max_conflicts,
-        induction=True,
-        unique_states=True,
-        budget=config.budget,
+        Limits(
+            max_depth=depth,
+            max_conflicts=config.bmc_max_conflicts,
+            budget=config.budget,
+        ),
+        contain=False,
     )
-    if result.outcome is BmcOutcome.TRUE:
-        return EngineVerdict(
-            "bmc",
-            Verdict.VERIFIED,
-            detail=f"k-induction at depth {result.induction_depth}",
-            seconds=result.seconds,
-        )
-    if result.outcome is BmcOutcome.FALSE:
-        return EngineVerdict(
-            "bmc",
-            Verdict.FALSIFIED,
-            detail=f"counterexample at depth {result.depth}",
-            seconds=result.seconds,
-            trace=result.trace,
-        )
-    return EngineVerdict(
-        "bmc", Verdict.UNKNOWN, detail=f"depth {depth} exhausted",
-        seconds=result.seconds,
-    )
+    return EngineVerdict.from_result("bmc", result)
 
 
 def _run_bdd(
@@ -207,217 +220,51 @@ def _run_bdd(
     """Forward reachability on the COI reduction.  Run directly (not via
     ``model_check_coi``) so a FIXPOINT exposes its reached-set BDD as a
     certifiable inductive invariant."""
-    start = time.monotonic()
-    prop.validate_against(circuit)
-    coi = coi_registers(circuit, prop.signals())
-    reduced = extract_subcircuit(
-        circuit, coi, prop.signals(), name=f"{circuit.name}.coi"
+    result = BddReachEngine().run(
+        circuit,
+        prop,
+        Limits(
+            max_bdd_nodes=config.bdd_max_nodes,
+            max_seconds=config.bdd_max_seconds,
+            budget=config.budget,
+        ),
+        contain=False,
     )
-    encoding = SymbolicEncoding(reduced)
-    encoding.bdd.auto_reorder = True
-    images = ImageComputer(encoding)
-    target = encoding.state_cube(dict(prop.target))
-    limits = ReachLimits(
-        max_nodes=config.bdd_max_nodes,
-        max_seconds=config.bdd_max_seconds,
-        budget=config.budget,
-    )
-    reach = forward_reach(
-        images, encoding.initial_states(), target=target, limits=limits
-    )
-    seconds = time.monotonic() - start
-    if reach.outcome is ReachOutcome.FIXPOINT:
-        verdict = EngineVerdict(
-            "bdd",
-            Verdict.VERIFIED,
-            detail=f"fixpoint after {reach.iterations} images",
-            seconds=seconds,
-        )
-        verdict.invariant = reach.reached  # type: ignore[attr-defined]
-        verdict.invariant_encoding = encoding  # type: ignore[attr-defined]
-        return verdict
-    if reach.outcome is ReachOutcome.TARGET_HIT:
-        trace = _extract_error_trace(encoding, images, reach, target)
-        return EngineVerdict(
-            "bdd",
-            Verdict.FALSIFIED,
-            detail=f"target hit in ring {reach.hit_ring}",
-            seconds=seconds,
-            trace=trace,
-        )
-    return EngineVerdict(
-        "bdd", Verdict.UNKNOWN, detail="resource limit", seconds=seconds
-    )
+    return EngineVerdict.from_result("bdd", result)
 
 
 def _run_rfn(
     circuit: Circuit, prop: UnreachabilityProperty, config: OracleConfig
 ) -> EngineVerdict:
-    rfn_config = RfnConfig(
-        max_seconds=config.rfn_max_seconds, budget=config.budget
+    result = RfnEngine().run(
+        circuit,
+        prop,
+        Limits(max_seconds=config.rfn_max_seconds, budget=config.budget),
+        contain=False,
     )
-    result = RFN(circuit, prop, rfn_config).run()
-    if result.status is RfnStatus.VERIFIED:
-        verdict = EngineVerdict(
-            "rfn",
-            Verdict.VERIFIED,
-            detail=(
-                f"{len(result.iterations)} iterations, "
-                f"{result.abstract_model_registers} abstract registers"
-            ),
-            seconds=result.seconds,
-        )
-        verdict.invariant = result.invariant  # type: ignore[attr-defined]
-        verdict.invariant_encoding = result.invariant_encoding  # type: ignore[attr-defined]
-        return verdict
-    if result.status is RfnStatus.FALSIFIED:
-        return EngineVerdict(
-            "rfn",
-            Verdict.FALSIFIED,
-            detail=f"{len(result.iterations)} iterations",
-            seconds=result.seconds,
-            trace=result.trace,
-        )
-    return EngineVerdict(
-        "rfn", Verdict.UNKNOWN, detail=result.detail, seconds=result.seconds
-    )
+    return EngineVerdict.from_result("rfn", result)
 
 
 def _run_kernel(
     circuit: Circuit, prop: UnreachabilityProperty, config: OracleConfig
 ) -> EngineVerdict:
-    """Exhaustive breadth-first reachability with bit-parallel next-state
-    evaluation: every (frontier state, input vector) pair is one lane of
-    a kernel sweep.  Complete whenever the caps hold, which the fuzz
-    generator guarantees by construction."""
-    start = time.monotonic()
-    prop.validate_against(circuit)
-    registers = list(circuit.registers)
-    inputs = list(circuit.inputs)
-    if len(inputs) > config.kernel_max_inputs:
-        return EngineVerdict(
-            "kernel", Verdict.UNKNOWN,
-            detail=f"{len(inputs)} inputs exceed exhaustive cap",
-        )
-    free = [r for r in registers if circuit.registers[r].init is None]
-    if len(free) > config.kernel_max_free_init:
-        return EngineVerdict(
-            "kernel", Verdict.UNKNOWN,
-            detail=f"{len(free)} free-init registers exceed cap",
-        )
-
-    input_vectors = [
-        dict(zip(inputs, bits))
-        for bits in itertools.product((0, 1), repeat=len(inputs))
-    ]
-    base = {
-        name: reg.init
-        for name, reg in circuit.registers.items()
-        if reg.init is not None
-    }
-    initial_states = []
-    for bits in itertools.product((0, 1), repeat=len(free)):
-        state = dict(base)
-        state.update(zip(free, bits))
-        initial_states.append(state)
-
-    def key_of(state: Mapping[str, int]) -> Tuple[int, ...]:
-        return tuple(state[r] for r in registers)
-
-    def make_trace(last_key: Tuple[int, ...]) -> Trace:
-        # Walk parent pointers back to an initial state; the bad state
-        # itself becomes the final cycle with a vacuous input vector
-        # (the shape mc.checker produces).
-        path: List[Tuple[int, ...]] = []
-        steps: List[Dict[str, int]] = []
-        key: Optional[Tuple[int, ...]] = last_key
-        while key is not None:
-            path.append(key)
-            parent_key, via = parent[key]
-            if via is not None:
-                steps.append(via)
-            key = parent_key
-        path.reverse()
-        steps.reverse()
-        states = [dict(zip(registers, k)) for k in path]
-        steps.append({name: 0 for name in inputs})
-        return Trace(states=states, inputs=steps, circuit_name=circuit.name)
-
-    parent: Dict[Tuple[int, ...], Tuple[Optional[Tuple[int, ...]], Optional[Dict[str, int]]]] = {}
-    frontier: List[Dict[str, int]] = []
-    for state in initial_states:
-        key = key_of(state)
-        if key in parent:
-            continue
-        parent[key] = (None, None)
-        if prop.holds_in_state(state):
-            return EngineVerdict(
-                "kernel",
-                Verdict.FALSIFIED,
-                detail="bad initial state",
-                seconds=time.monotonic() - start,
-                trace=make_trace(key),
-            )
-        frontier.append(state)
-
-    sim = BitParallelSimulator(circuit)
-    if config.budget is not None:
-        sim.checkpoint = config.budget.hook("kernel")
-    explored = 0
-    while frontier:
-        if config.budget is not None:
-            config.budget.checkpoint(engine="kernel")
-        if len(parent) > config.kernel_max_states:
-            return EngineVerdict(
-                "kernel", Verdict.UNKNOWN,
-                detail=f"state cap {config.kernel_max_states} exceeded",
-                seconds=time.monotonic() - start,
-            )
-        pairs = [
-            (state, vector) for state in frontier for vector in input_vectors
-        ]
-        frontier = []
-        for lo in range(0, len(pairs), config.kernel_chunk_lanes):
-            chunk = pairs[lo : lo + config.kernel_chunk_lanes]
-            lanes = len(chunk)
-            frame = sim.evaluate(
-                pack_lanes([p[0] for p in chunk]),
-                pack_lanes([p[1] for p in chunk]),
-                lanes,
-            )
-            next_planes = sim.next_state(frame)
-            explored += lanes
-            for lane, (state, vector) in enumerate(chunk):
-                successor = {
-                    r: planes_value(next_planes[r], lane) for r in registers
-                }
-                key = key_of(successor)
-                if key in parent:
-                    continue
-                parent[key] = (key_of(state), dict(vector))
-                if prop.holds_in_state(successor):
-                    return EngineVerdict(
-                        "kernel",
-                        Verdict.FALSIFIED,
-                        detail=(
-                            f"bad state after exploring {explored} edges"
-                        ),
-                        seconds=time.monotonic() - start,
-                        trace=make_trace(key),
-                    )
-                frontier.append(successor)
-    return EngineVerdict(
-        "kernel",
-        Verdict.VERIFIED,
-        detail=f"{len(parent)} reachable states, no bad state",
-        seconds=time.monotonic() - start,
+    engine = KernelBfsEngine()
+    engine.max_inputs = config.kernel_max_inputs
+    engine.max_free_init = config.kernel_max_free_init
+    engine.chunk_lanes = config.kernel_chunk_lanes
+    result = engine.run(
+        circuit,
+        prop,
+        Limits(max_states=config.kernel_max_states, budget=config.budget),
+        contain=False,
     )
+    return EngineVerdict.from_result("kernel", result)
 
 
 EngineRunner = Callable[[Circuit, UnreachabilityProperty, OracleConfig], EngineVerdict]
 
-# Name -> runner.  Tests monkeypatch entries here (or the module-level
-# ``bmc``/``RFN``/... references) to inject deliberate engine bugs.
+# Name -> runner.  Tests monkeypatch entries here to inject deliberate
+# engine bugs.
 ENGINES: Dict[str, EngineRunner] = {
     "bmc": _run_bmc,
     "bdd": _run_bdd,
@@ -447,18 +294,16 @@ def _certify_verdict(
             f"{k}: {v}" for k, v in cert.obligations.items()
         )
         return
-    invariant = getattr(verdict, "invariant", None)
-    encoding = getattr(verdict, "invariant_encoding", None)
     if (
         verdict.verdict is Verdict.VERIFIED
-        and invariant is not None
-        and encoding is not None
+        and verdict.invariant is not None
+        and verdict.invariant_encoding is not None
     ):
         cert = certify_invariant(
             circuit,
             prop,
-            invariant,
-            encoding,
+            verdict.invariant,
+            verdict.invariant_encoding,
             max_conflicts=config.certify_max_conflicts,
         )
         verdict.certificate = cert.status.value
@@ -519,9 +364,7 @@ def run_oracle(
             )
             report.errors.append(f"{name}: {verdict.detail}")
         report.verdicts.append(verdict)
-        if config.certify and verdict.verdict in (
-            Verdict.VERIFIED, Verdict.FALSIFIED
-        ):
+        if config.certify and verdict.verdict.definite:
             try:
                 _certify_verdict(circuit, prop, verdict, config)
             except (EngineAbort, MemoryError):
@@ -537,14 +380,15 @@ def run_oracle(
                     f"{name}: {verdict.certificate_detail}"
                 )
 
-    definite = [
-        v for v in report.verdicts
-        if v.verdict in (Verdict.VERIFIED, Verdict.FALSIFIED)
-    ]
-    for a, b in itertools.combinations(definite, 2):
-        if a.verdict is not b.verdict:
-            report.disagreements.append(
-                f"{a.engine}={a.verdict.value} vs {b.engine}={b.verdict.value}"
-            )
+    definite = [v for v in report.verdicts if v.verdict.definite]
+    try:
+        # Identical detection to the portfolio: a fold over Verdict.join.
+        join_all(v.verdict for v in definite)
+    except DisagreeError:
+        for a, b in itertools.combinations(definite, 2):
+            if a.verdict is not b.verdict:
+                report.disagreements.append(
+                    f"{a.engine}={a.verdict.value} vs {b.engine}={b.verdict.value}"
+                )
     report.seconds = time.monotonic() - start
     return report

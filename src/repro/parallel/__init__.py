@@ -9,28 +9,23 @@ first definite verdict cancels the rest.  :func:`repro.parallel.shard.shard_map`
 is the companion for embarrassingly parallel sweeps (fuzz campaigns,
 ``repro batch``): an ordered parallel map with per-item isolation.
 
-Both entry points degrade to in-process sequential execution when
-``jobs <= 1`` or the platform lacks the ``fork`` start method, so every
-caller can treat parallelism as a pure go-faster knob.  See DESIGN.md
-section 11 for the pool lifecycle, budget-slicing and determinism
-contract.
+Strategies are engines resolved by name from
+:data:`repro.engine.registry`; verdicts are the canonical
+:class:`repro.engine.Verdict`.  Both entry points degrade to in-process
+sequential execution when ``jobs <= 1`` or the platform lacks the
+``fork`` start method, so every caller can treat parallelism as a pure
+go-faster knob.  See DESIGN.md section 11 for the pool lifecycle,
+budget-slicing and determinism contract.
 """
 
-from repro.parallel.envelope import (
-    FALSIFIED,
-    UNKNOWN,
-    VERIFIED,
-    WorkerEnvelope,
-    slice_limits,
-)
+from repro.engine import Verdict
+from repro.parallel.envelope import WorkerEnvelope, slice_limits
 from repro.parallel.portfolio import PortfolioResult, canonical_witness, race
 from repro.parallel.shard import ShardError, shard_map
-from repro.parallel.worker import STRATEGIES, STRATEGY_ORDER, run_strategy
+from repro.parallel.worker import STRATEGY_ORDER, run_strategy
 
 __all__ = [
-    "FALSIFIED",
-    "UNKNOWN",
-    "VERIFIED",
+    "Verdict",
     "WorkerEnvelope",
     "slice_limits",
     "PortfolioResult",
@@ -38,7 +33,6 @@ __all__ = [
     "race",
     "ShardError",
     "shard_map",
-    "STRATEGIES",
     "STRATEGY_ORDER",
     "run_strategy",
 ]

@@ -2,10 +2,11 @@
 
 A worker never sends engine objects over the pipe -- BDD functions and
 solver sessions are process-local -- only the :class:`WorkerEnvelope`:
-a verdict string, an (optional, picklable) :class:`~repro.trace.Trace`,
-the contained :class:`~repro.runtime.supervisor.AbortInfo` if the
-strategy aborted, and the worker's perf-counter snapshot so the parent
-can fold pool-wide totals into its own ``PERF``.
+a canonical :class:`~repro.engine.Verdict`, an (optional, picklable)
+:class:`~repro.trace.Trace`, the contained
+:class:`~repro.runtime.supervisor.AbortInfo` if the strategy aborted,
+and the worker's perf-counter snapshot so the parent can fold pool-wide
+totals into its own ``PERF``.
 
 Budget slicing follows one rule: **every strategy gets the same slice
 in sequential and parallel mode**.  ``slice_limits`` divides the
@@ -23,21 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.engine import Limits, Verdict
 from repro.runtime.budget import Budget
 from repro.runtime.supervisor import AbortInfo
 from repro.trace import Trace
 
-#: Normalized portfolio verdicts.  Strings (not an enum) so envelopes
-#: stay trivially picklable and JSON-able across worker boundaries.
-VERIFIED = "verified"
-FALSIFIED = "falsified"
-UNKNOWN = "unknown"
-ERROR = "error"
 
-DEFINITE = (VERIFIED, FALSIFIED)
-
-
-def slice_limits(budget: Optional[Budget], ways: int) -> Dict[str, Optional[float]]:
+def slice_limits(budget: Optional[Budget], ways: int) -> Limits:
     """Limits for one of ``ways`` equal budget slices.
 
     Wall clock and countable resources (conflicts, BDD nodes) are split
@@ -46,28 +39,23 @@ def slice_limits(budget: Optional[Budget], ways: int) -> Dict[str, Optional[floa
     """
     ways = max(1, ways)
     if budget is None:
-        return {
-            "max_seconds": None,
-            "max_conflicts": None,
-            "max_bdd_nodes": None,
-            "max_memory_mb": None,
-        }
+        return Limits()
     remaining = budget.remaining_seconds()
     conflicts = budget.remaining_conflicts()
-    return {
-        "max_seconds": None if remaining is None else remaining / ways,
-        "max_conflicts": None if conflicts is None else max(
+    return Limits(
+        max_seconds=None if remaining is None else remaining / ways,
+        max_conflicts=None if conflicts is None else max(
             1, conflicts // ways
         ),
-        "max_bdd_nodes": None if budget.max_bdd_nodes is None else max(
+        max_bdd_nodes=None if budget.max_bdd_nodes is None else max(
             1, budget.max_bdd_nodes // ways
         ),
-        "max_memory_mb": budget.max_memory_mb,
-    }
+        max_memory_mb=budget.max_memory_mb,
+    )
 
 
 def budget_from_limits(
-    limits: Dict[str, Optional[float]],
+    limits: Limits,
     name: str,
     parent: Optional[Budget] = None,
 ) -> Optional[Budget]:
@@ -76,13 +64,13 @@ def budget_from_limits(
     forked worker passes None since the parent lives in another
     process.  A fully unlimited slice materializes as None, keeping
     engines on their no-budget fast path."""
-    if parent is None and all(v is None for v in limits.values()):
+    if parent is None and limits.unlimited():
         return None
     return Budget(
-        max_seconds=limits.get("max_seconds"),
-        max_conflicts=limits.get("max_conflicts"),
-        max_bdd_nodes=limits.get("max_bdd_nodes"),
-        max_memory_mb=limits.get("max_memory_mb"),
+        max_seconds=limits.max_seconds,
+        max_conflicts=limits.max_conflicts,
+        max_bdd_nodes=limits.max_bdd_nodes,
+        max_memory_mb=limits.max_memory_mb,
         name=name,
         parent=parent,
     )
@@ -93,8 +81,10 @@ class WorkerEnvelope:
     """One strategy's complete, pipe-safe result."""
 
     strategy: str
-    verdict: str = UNKNOWN
+    verdict: Verdict = Verdict.UNKNOWN
     detail: str = ""
+    #: witness kind for a definite verdict (``repro.engine`` constants)
+    witness: Optional[str] = None
     trace: Optional[Trace] = None
     abort: Optional[AbortInfo] = None
     seconds: float = 0.0
@@ -111,16 +101,38 @@ class WorkerEnvelope:
 
     @property
     def definite(self) -> bool:
-        return self.verdict in DEFINITE
+        return self.verdict.definite
 
-    def to_json(self) -> dict:
-        return {
+    def to_json(self, include_trace: bool = False) -> dict:
+        payload = {
             "strategy": self.strategy,
-            "verdict": self.verdict,
+            "verdict": self.verdict.value,
             "detail": self.detail,
+            "witness": self.witness,
             "trace_length": None if self.trace is None else self.trace.length,
             "abort": None if self.abort is None else self.abort.to_json(),
             "seconds": round(self.seconds, 4),
             "rss_mb": None if self.rss_mb is None else round(self.rss_mb, 1),
             "pid": self.pid,
         }
+        if include_trace and self.trace is not None:
+            payload["trace"] = self.trace.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "WorkerEnvelope":
+        """Rebuild an envelope from :meth:`to_json` output (the journal
+        round-trip; perf/obs/rss are observability extras and are not
+        resurrected)."""
+        trace = payload.get("trace")
+        abort = payload.get("abort")
+        return cls(
+            strategy=payload["strategy"],
+            verdict=Verdict(payload.get("verdict", "unknown")),
+            detail=payload.get("detail", ""),
+            witness=payload.get("witness"),
+            trace=None if trace is None else Trace.from_json(trace),
+            abort=None if abort is None else AbortInfo(**abort),
+            seconds=payload.get("seconds", 0.0),
+            pid=payload.get("pid"),
+        )

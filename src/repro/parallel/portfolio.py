@@ -38,14 +38,12 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.property import UnreachabilityProperty
+from repro.engine import DisagreeError, Verdict, join_all
 from repro.kernel.perf import PERF
 from repro.mc.bmc import BmcOutcome, bmc
 from repro.netlist.circuit import Circuit
 from repro.obs import tracer as obs
 from repro.parallel.envelope import (
-    ERROR,
-    UNKNOWN,
-    FALSIFIED,
     WorkerEnvelope,
     budget_from_limits,
     slice_limits,
@@ -94,7 +92,7 @@ def canonical_witness(
 class PortfolioResult:
     """Outcome of one race."""
 
-    verdict: str
+    verdict: Verdict
     trace: Optional[Trace] = None
     winner: Optional[str] = None
     jobs: int = 1
@@ -102,14 +100,17 @@ class PortfolioResult:
     envelopes: List[WorkerEnvelope] = field(default_factory=list)
     seconds: float = 0.0
     canonical: bool = False
+    #: set when two sound strategies answered with contradictory
+    #: definite verdicts -- a soundness bug, reported as ERROR
+    disagreement: Optional[str] = None
 
     @property
     def verified(self) -> bool:
-        return self.verdict == "verified"
+        return self.verdict is Verdict.VERIFIED
 
     @property
     def falsified(self) -> bool:
-        return self.verdict == "falsified"
+        return self.verdict is Verdict.FALSIFIED
 
     @property
     def aborts(self) -> List[AbortInfo]:
@@ -123,7 +124,8 @@ class PortfolioResult:
 
     def to_json(self) -> dict:
         return {
-            "verdict": self.verdict,
+            "verdict": self.verdict.value,
+            "disagreement": self.disagreement,
             "winner": self.winner,
             "jobs": self.jobs,
             "strategies": list(self.strategies),
@@ -146,9 +148,21 @@ def _finish(
         result.verdict = winning.verdict
         result.winner = winning.strategy
         result.trace = winning.trace
+    try:
+        # The same fold the fuzz oracle uses for consensus: two sound
+        # strategies can never definitely disagree, so a conflict is an
+        # infrastructure-grade finding, not a result.
+        join_all(e.verdict for e in result.envelopes)
+    except DisagreeError as error:
+        result.verdict = Verdict.ERROR
+        result.disagreement = str(error)
+        result.winner = None
+        result.trace = None
+        result.seconds = time.monotonic() - start
+        return result
     if (
         canonicalize
-        and result.verdict == FALSIFIED
+        and result.verdict is Verdict.FALSIFIED
         and result.trace is not None
     ):
         result.trace = canonical_witness(circuit, prop, result.trace)
@@ -177,7 +191,7 @@ def race(
     start = time.monotonic()
     limits = slice_limits(budget, len(strategies))
     result = PortfolioResult(
-        verdict=UNKNOWN, jobs=max(1, jobs), strategies=strategies
+        verdict=Verdict.UNKNOWN, jobs=max(1, jobs), strategies=strategies
     )
     race_span = obs.span(
         "portfolio.race", jobs=max(1, jobs), strategies=",".join(strategies)
@@ -268,7 +282,7 @@ def race(
                     proc.join()  # exitcode is only valid after the join
                     envelope = WorkerEnvelope(
                         strategy=strategy,
-                        verdict=ERROR,
+                        verdict=Verdict.ERROR,
                         detail=(
                             f"worker exited without a result "
                             f"(exitcode {proc.exitcode})"

@@ -1,10 +1,10 @@
-"""Portfolio strategies and the worker-process entry point.
+"""Portfolio strategy execution and the worker-process entry point.
 
-Each strategy answers "is the property's target cube reachable?" through
-one engine, normalized to the envelope verdict strings.  All four are
-*sound*: a definite verdict (``verified``/``falsified``) is correct no
-matter which strategy produced it, which is what licenses the race's
-first-definite-wins cancellation.
+Each strategy is an engine resolved from :data:`repro.engine.registry`
+by name; all the default entries are *sound*: a definite verdict
+(``verified``/``falsified``) is correct no matter which strategy
+produced it, which is what licenses the race's first-definite-wins
+cancellation.  The default race order is
 
 - ``bdd``        -- BDD forward reachability on the COI reduction
   (complete; slow when the reachable set is large),
@@ -26,164 +26,25 @@ ship the envelope, exit.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.property import UnreachabilityProperty
+from repro.engine import FunctionEngine, Limits, Verdict, registry
+from repro.engine.base import EngineBody
 from repro.kernel.perf import PERF
-from repro.mc.bmc import BmcOutcome, bmc
-from repro.mc.checker import _extract_error_trace
-from repro.mc.encode import SymbolicEncoding
-from repro.mc.images import ImageComputer
-from repro.mc.reach import ReachLimits, ReachOutcome, forward_reach
 from repro.netlist.circuit import Circuit
-from repro.netlist.ops import coi_registers, extract_subcircuit
 from repro.obs import tracer as obs
-from repro.parallel.envelope import (
-    ERROR,
-    FALSIFIED,
-    UNKNOWN,
-    VERIFIED,
-    WorkerEnvelope,
-    budget_from_limits,
-)
+from repro.parallel.envelope import WorkerEnvelope, budget_from_limits
 from repro.runtime.abort import InjectedFault
 from repro.runtime.budget import Budget, process_rss_mb
 from repro.runtime.chaos import ChaosMonkey, Garbage
 from repro.runtime.supervisor import CONTAINED, AbortInfo
-from repro.trace import Trace
 
 #: Default race order: the paper's engine preference (exact reachability
 #: first, then the CEGAR loop, then the SAT engines).  In sequential
 #: mode this is the order the slices burn in; in parallel mode it only
 #: breaks ties for scheduling.
 STRATEGY_ORDER: Tuple[str, ...] = ("bdd", "rfn", "kinduction", "bmc")
-
-StrategyResult = Tuple[str, Optional[Trace], str]
-StrategyFn = Callable[
-    [Circuit, UnreachabilityProperty, Optional[Budget]], StrategyResult
-]
-
-
-def _sat_depth(circuit: Circuit) -> int:
-    """Unrolling cap: with simple-path constraints k-induction is
-    complete at the recurrence diameter, itself bounded by the state
-    count."""
-    if circuit.num_registers >= 7:
-        return 130
-    return (1 << circuit.num_registers) + 2
-
-
-def _strategy_bmc(
-    circuit: Circuit,
-    prop: UnreachabilityProperty,
-    budget: Optional[Budget],
-) -> StrategyResult:
-    result = bmc(
-        circuit,
-        prop,
-        max_depth=_sat_depth(circuit),
-        max_conflicts=None,
-        induction=False,
-        budget=budget,
-    )
-    if result.outcome is BmcOutcome.FALSE:
-        return (
-            FALSIFIED,
-            result.trace,
-            f"counterexample at depth {result.depth}",
-        )
-    return UNKNOWN, None, f"no counterexample within depth {result.depth}"
-
-
-def _strategy_kinduction(
-    circuit: Circuit,
-    prop: UnreachabilityProperty,
-    budget: Optional[Budget],
-) -> StrategyResult:
-    result = bmc(
-        circuit,
-        prop,
-        max_depth=_sat_depth(circuit),
-        max_conflicts=None,
-        induction=True,
-        unique_states=True,
-        budget=budget,
-    )
-    if result.outcome is BmcOutcome.TRUE:
-        return (
-            VERIFIED,
-            None,
-            f"k-induction at depth {result.induction_depth}",
-        )
-    if result.outcome is BmcOutcome.FALSE:
-        return (
-            FALSIFIED,
-            result.trace,
-            f"counterexample at depth {result.depth}",
-        )
-    return UNKNOWN, None, f"inconclusive at depth {result.depth}"
-
-
-def _strategy_bdd(
-    circuit: Circuit,
-    prop: UnreachabilityProperty,
-    budget: Optional[Budget],
-) -> StrategyResult:
-    prop.validate_against(circuit)
-    coi = coi_registers(circuit, prop.signals())
-    reduced = extract_subcircuit(
-        circuit, coi, prop.signals(), name=f"{circuit.name}.coi"
-    )
-    encoding = SymbolicEncoding(reduced)
-    encoding.bdd.auto_reorder = True
-    images = ImageComputer(encoding)
-    target = encoding.state_cube(dict(prop.target))
-    reach = forward_reach(
-        images,
-        encoding.initial_states(),
-        target=target,
-        limits=ReachLimits(budget=budget),
-    )
-    if reach.outcome is ReachOutcome.FIXPOINT:
-        return VERIFIED, None, f"fixpoint after {reach.iterations} images"
-    if reach.outcome is ReachOutcome.TARGET_HIT:
-        trace = _extract_error_trace(encoding, images, reach, target)
-        return FALSIFIED, trace, f"target hit in ring {reach.hit_ring}"
-    return UNKNOWN, None, "reachability resource limit"
-
-
-def _strategy_rfn(
-    circuit: Circuit,
-    prop: UnreachabilityProperty,
-    budget: Optional[Budget],
-) -> StrategyResult:
-    # Imported lazily: core.rfn itself dispatches to this package when
-    # RfnConfig.parallel is set, and the module-level cycle must break
-    # somewhere.
-    from repro.core.rfn import RFN, RfnConfig, RfnStatus
-
-    result = RFN(circuit, prop, RfnConfig(budget=budget)).run()
-    if result.status is RfnStatus.VERIFIED:
-        return (
-            VERIFIED,
-            None,
-            f"CEGAR verified in {len(result.iterations)} iterations",
-        )
-    if result.status is RfnStatus.FALSIFIED:
-        return (
-            FALSIFIED,
-            result.trace,
-            f"CEGAR falsified in {len(result.iterations)} iterations",
-        )
-    return UNKNOWN, None, result.detail or "CEGAR resource limit"
-
-
-STRATEGIES: Dict[str, StrategyFn] = {
-    "bdd": _strategy_bdd,
-    "rfn": _strategy_rfn,
-    "kinduction": _strategy_kinduction,
-    "bmc": _strategy_bmc,
-}
 
 
 def run_strategy(
@@ -192,23 +53,30 @@ def run_strategy(
     prop: UnreachabilityProperty,
     budget: Optional[Budget] = None,
     chaos: Optional[ChaosMonkey] = None,
-    fn: Optional[StrategyFn] = None,
+    fn: Optional[EngineBody] = None,
 ) -> WorkerEnvelope:
     """Run one strategy under full containment; never raises short of
     ``KeyboardInterrupt``.  The chaos site name is the strategy name, so
     ``--chaos bdd=timeout`` breaks the bdd worker exactly like it breaks
     an in-process supervised step.  ``fn`` substitutes the strategy body
-    (same signature) while keeping the name, containment and chaos site
-    -- the service layer uses this to run ``rfn`` with checkpoint/resume
-    wired in."""
+    (an :data:`EngineBody` returning a ``VerifyResult``) while keeping
+    the name, containment and chaos site -- the service layer uses this
+    to run ``rfn`` with checkpoint/resume wired in."""
     envelope = WorkerEnvelope(strategy=strategy)
     start = time.perf_counter()
     with obs.span(f"strategy.{strategy}") as phase:
         try:
             if chaos is not None:
                 chaos.before(strategy)
-            body = STRATEGIES[strategy] if fn is None else fn
-            verdict, trace, detail = body(circuit, prop, budget)
+            engine = (
+                registry.get(strategy)
+                if fn is None
+                else FunctionEngine(strategy, fn)
+            )
+            result = engine.run(
+                circuit, prop, Limits(budget=budget), contain=False
+            )
+            verdict = result.verdict
             if chaos is not None:
                 mangled = chaos.mangle(strategy, verdict)
                 if isinstance(mangled, Garbage):
@@ -217,14 +85,15 @@ def run_strategy(
                     )
                 verdict = mangled
             envelope.verdict = verdict
-            envelope.trace = trace
-            envelope.detail = detail
+            envelope.trace = result.trace
+            envelope.detail = result.detail
+            envelope.witness = result.witness
         except CONTAINED as error:
-            envelope.verdict = UNKNOWN
+            envelope.verdict = Verdict.UNKNOWN
             envelope.abort = AbortInfo.from_exception(strategy, error)
             envelope.detail = envelope.abort.describe()
         except Exception as error:  # a strategy crash degrades, never kills
-            envelope.verdict = ERROR
+            envelope.verdict = Verdict.ERROR
             envelope.detail = f"{type(error).__name__}: {error}"
         phase.set(verdict=envelope.verdict, detail=envelope.detail)
     envelope.seconds = time.perf_counter() - start

@@ -56,9 +56,13 @@ from repro.core.property import UnreachabilityProperty
 from repro.kernel.perf import PERF
 from repro.netlist.textio import circuit_from_text
 from repro.obs import tracer as obs
+from repro.engine import (
+    Verdict,
+    VerifyResult,
+    WITNESS_INVARIANT,
+    WITNESS_TRACE,
+)
 from repro.parallel.envelope import (
-    ERROR,
-    UNKNOWN,
     WorkerEnvelope,
     budget_from_limits,
     slice_limits,
@@ -126,8 +130,8 @@ def _rfn_with_checkpoint(checkpoint_path: str):
     checkpoint (from a preempted attempt) resumes instead of redoing
     completed refinements."""
 
-    def body(circuit, prop, budget):
-        from repro.core.rfn import RfnConfig, RfnStatus, rfn_verify
+    def body(circuit, prop, limits) -> VerifyResult:
+        from repro.core.rfn import RfnConfig, rfn_verify
 
         resume = None
         try:
@@ -136,28 +140,43 @@ def _rfn_with_checkpoint(checkpoint_path: str):
                 resume.validate_against(circuit, prop)
         except (OSError, ValueError):
             resume = None  # unusable checkpoint: start fresh
-        config = RfnConfig(budget=budget, checkpoint_path=checkpoint_path)
+        config = RfnConfig(
+            budget=limits.budget, checkpoint_path=checkpoint_path
+        )
         result = rfn_verify(circuit, prop, config, resume=resume)
         resumed = (
             f" (resumed {result.resumed_iterations} iterations)"
             if result.resumed_iterations
             else ""
         )
-        if result.status is RfnStatus.VERIFIED:
-            return (
-                "verified",
-                None,
-                f"CEGAR verified in {len(result.iterations)} "
-                f"iterations{resumed}",
+        if result.verified:
+            return VerifyResult(
+                engine="rfn",
+                verdict=Verdict.VERIFIED,
+                detail=(
+                    f"CEGAR verified in {len(result.iterations)} "
+                    f"iterations{resumed}"
+                ),
+                witness=WITNESS_INVARIANT,
+                invariant=result.invariant,
+                invariant_encoding=result.invariant_encoding,
             )
-        if result.status is RfnStatus.FALSIFIED:
-            return (
-                "falsified",
-                result.trace,
-                f"CEGAR falsified in {len(result.iterations)} "
-                f"iterations{resumed}",
+        if result.falsified:
+            return VerifyResult(
+                engine="rfn",
+                verdict=Verdict.FALSIFIED,
+                detail=(
+                    f"CEGAR falsified in {len(result.iterations)} "
+                    f"iterations{resumed}"
+                ),
+                witness=WITNESS_TRACE,
+                trace=result.trace,
             )
-        return "unknown", None, result.detail or "CEGAR resource limit"
+        return VerifyResult(
+            engine="rfn",
+            verdict=Verdict.UNKNOWN,
+            detail=result.detail or "CEGAR resource limit",
+        )
 
     return body
 
@@ -204,7 +223,7 @@ def job_worker_main(conn, heartbeat, payload: dict) -> None:
             (
                 "result",
                 {
-                    "verdict": ERROR,
+                    "verdict": Verdict.ERROR,
                     "detail": f"{type(error).__name__}: {error}",
                     "permanent": True,
                     "winner": None,
@@ -248,7 +267,7 @@ def job_worker_main(conn, heartbeat, payload: dict) -> None:
                 winner = envelope
                 break
         attempt.set(
-            verdict=winner.verdict if winner is not None else UNKNOWN
+            verdict=winner.verdict if winner is not None else Verdict.UNKNOWN
         )
 
     if winner is not None:
@@ -257,11 +276,11 @@ def job_worker_main(conn, heartbeat, payload: dict) -> None:
         trace_length = (
             None if winner.trace is None else winner.trace.length
         )
-    elif last is not None and last.verdict == ERROR:
-        verdict, detail = ERROR, last.detail
+    elif last is not None and last.verdict is Verdict.ERROR:
+        verdict, detail = Verdict.ERROR, last.detail
         winning_strategy, trace_length = None, None
     else:
-        verdict = UNKNOWN
+        verdict = Verdict.UNKNOWN
         detail = last.detail if last is not None else "no strategies ran"
         winning_strategy, trace_length = None, None
     send(
@@ -583,7 +602,7 @@ class Daemon:
         memory abort counts against the engine; a clean UNKNOWN or a
         cooperative timeout is a legitimate outcome of budget slicing,
         not a reason for quarantine."""
-        if envelope.verdict == ERROR:
+        if envelope.verdict is Verdict.ERROR:
             return True
         abort = envelope.abort
         return abort is not None and abort.resource == "memory"
@@ -608,9 +627,9 @@ class Daemon:
         for strategy in slot.unprobed():
             self.board.release(strategy)
         job = slot.job
-        verdict = result.get("verdict", UNKNOWN)
+        verdict = result.get("verdict", Verdict.UNKNOWN)
         permanent = bool(result.get("permanent"))
-        if verdict == ERROR and not permanent:
+        if verdict == Verdict.ERROR and not permanent:
             # Every strategy errored in-process: infrastructure trouble,
             # worth a bounded retry (transient chaos, OOM pressure).
             self._requeue_or_fail(

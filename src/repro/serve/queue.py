@@ -351,9 +351,11 @@ class JobStore:
         retries, never an invisible crash loop).
         """
         if job.attempt >= job.max_attempts:
+            from repro.engine import Verdict
+
             self.finish(
                 job,
-                verdict="error",
+                verdict=Verdict.ERROR,
                 detail=(
                     f"retry budget exhausted after {job.attempt} "
                     f"attempts (last: {reason})"

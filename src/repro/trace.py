@@ -44,6 +44,22 @@ class Trace:
         self.states.append(dict(state))
         self.inputs.append(dict(inputs))
 
+    def to_json(self) -> dict:
+        """JSON-able form (cubes are plain name->bit dicts already)."""
+        return {
+            "states": [dict(cube) for cube in self.states],
+            "inputs": [dict(cube) for cube in self.inputs],
+            "circuit_name": self.circuit_name,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "Trace":
+        return cls(
+            states=[dict(cube) for cube in payload.get("states", [])],
+            inputs=[dict(cube) for cube in payload.get("inputs", [])],
+            circuit_name=payload.get("circuit_name", ""),
+        )
+
     def cube_at(self, cycle: int) -> Cube:
         """State and input assignments of one cycle merged into a cube."""
         merged = dict(self.states[cycle])

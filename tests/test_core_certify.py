@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import RFN, RfnStatus, watchdog_property
+from repro.core import RFN, watchdog_property
+from repro.engine import Verdict
 from repro.core.certify import (
     CertificateStatus,
     certify_error_trace,
@@ -73,7 +74,7 @@ class TestRfnIntegration:
     def test_rfn_verified_result_certifies(self):
         circuit, prop = saturating_counter()
         result = RFN(circuit, prop).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
         assert result.invariant is not None
         cert = certify_invariant(
             result.abstract_model,
@@ -104,7 +105,7 @@ class TestRfnIntegration:
         prop = watchdog_property(c, w_eq_const(c, cnt.q, 5), "hit5")
         c.validate()
         result = RFN(c, prop).run()
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         cert = certify_error_trace(c, prop, result.trace)
         assert cert.ok
         assert "reached at cycle" in cert.obligations["bad-state"]
@@ -144,7 +145,7 @@ class TestReplaySimulatorPinning:
         prop = watchdog_property(c, w_eq_const(c, cnt.q, 5), "hit5")
         c.validate()
         result = RFN(c, prop).run()
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         return c, prop, result.trace
 
     def test_good_trace_certifies_on_both(self):

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import RFN, RfnConfig, RfnStatus
+from repro.core import RFN, RfnConfig
+from repro.engine import Verdict
 from repro.mc.reach import ReachLimits
 from repro.sim import Simulator
 
@@ -13,7 +14,7 @@ class TestVerified:
     def test_toggle_verified(self):
         c, prop = toggle_design()
         result = RFN(c, prop).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
         assert result.verified
 
     def test_toggle_final_model_is_small(self):
@@ -24,14 +25,14 @@ class TestVerified:
     def test_chain_verified_iteratively(self):
         c, prop = chain_design(depth=5)
         result = RFN(c, prop).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
         # More than one CEGAR iteration was needed.
         assert len(result.iterations) > 1
 
     def test_padded_design_ignores_islands(self):
         c, prop = padded(toggle_design, pads=40)
         result = RFN(c, prop).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
         assert result.abstract_model_registers <= 3
         assert all(not reg.startswith("pad") for reg in result.kept_registers)
 
@@ -40,7 +41,7 @@ class TestFalsified:
     def test_buggy_counter_falsified(self):
         c, prop = buggy_counter()
         result = RFN(c, prop).run()
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         assert result.trace is not None
 
     def test_concrete_trace_replays(self):
@@ -68,13 +69,13 @@ class TestResourceLimits:
         c, prop = chain_design(depth=6)
         config = RfnConfig(max_iterations=1, enable_guided_search=False)
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.RESOURCE_OUT
+        assert result.status is Verdict.UNKNOWN
 
     def test_time_limit(self):
         c, prop = chain_design(depth=6)
         config = RfnConfig(max_seconds=0.0)
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.RESOURCE_OUT
+        assert result.status is Verdict.UNKNOWN
         assert result.detail == "time limit"
 
     def test_reach_resource_out_degrades_to_bmc_fallback(self):
@@ -84,7 +85,7 @@ class TestResourceLimits:
         c, prop = buggy_counter()
         config = RfnConfig(reach_limits=ReachLimits(max_iterations=1))
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         assert result.aborts  # the reach aborts were contained, not lost
 
     def test_reach_resource_out_without_fallback_names_resource(self):
@@ -97,7 +98,7 @@ class TestResourceLimits:
             fallback_bmc_depth=0,
         )
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.RESOURCE_OUT
+        assert result.status is Verdict.UNKNOWN
         assert result.failure is not None
         assert result.failure.resource in ("iterations", "depth")
 
@@ -114,13 +115,13 @@ class TestConfigKnobs:
         c, prop = toggle_design()
         config = RfnConfig(enable_minimization=False)
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
 
     def test_guidance_disabled_still_falsifies(self):
         c, prop = buggy_counter(bad_value=5)
         config = RfnConfig(guidance=False)
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
 
     def test_iteration_records_populated(self):
         c, prop = chain_design(depth=4)
@@ -137,4 +138,4 @@ class TestConfigKnobs:
         c, prop = toggle_design()
         config = RfnConfig(auto_reorder=False)
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED

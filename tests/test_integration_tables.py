@@ -11,7 +11,8 @@ These are the shape claims of the paper's evaluation, checked end to end:
 
 import pytest
 
-from repro.core import RFN, RfnConfig, RfnStatus
+from repro.core import RFN, RfnConfig
+from repro.engine import Verdict
 from repro.core.coverage import (
     CoverageAnalyzer,
     CoverageConfig,
@@ -45,7 +46,7 @@ class TestTable1Shape:
         for workload in table1:
             result = rfn_results[workload.name]
             expected = (
-                RfnStatus.VERIFIED if workload.expected else RfnStatus.FALSIFIED
+                Verdict.VERIFIED if workload.expected else Verdict.FALSIFIED
             )
             assert result.status is expected, workload.name
 

@@ -3,7 +3,8 @@ work / [5][7])."""
 
 import pytest
 
-from repro.core import RFN, RfnConfig, RfnStatus, watchdog_property
+from repro.core import RFN, RfnConfig, watchdog_property
+from repro.engine import Verdict
 from repro.mc import ImageComputer, SymbolicEncoding, forward_reach
 from repro.mc.approx import (
     ApproximateReach,
@@ -135,7 +136,7 @@ class TestRfnIntegration:
         c, prop = saturating_counter_circuit()
         config = RfnConfig(approx_block_size=3, approx_overlap=1)
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
 
     def test_approx_proof_recorded(self):
         """When the partitioned traversal proves the refined model, the
@@ -143,6 +144,6 @@ class TestRfnIntegration:
         c, prop = saturating_counter_circuit()
         config = RfnConfig(approx_block_size=3, approx_overlap=2)
         result = RFN(c, prop, config).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
         outcomes = {it.reach_outcome for it in result.iterations}
         assert outcomes & {"approx_proved", "fixpoint"}

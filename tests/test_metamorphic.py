@@ -30,7 +30,7 @@ from repro.netlist.transform import (
     reorder_inputs,
 )
 from repro.parallel.portfolio import canonical_witness, race
-from repro.parallel.worker import STRATEGIES, run_strategy
+from repro.parallel.worker import STRATEGY_ORDER, run_strategy
 from repro.sim import Simulator
 
 from tests.conftest import (
@@ -123,7 +123,7 @@ class TestTransforms:
 # --------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("engine", sorted(STRATEGIES))
+@pytest.mark.parametrize("engine", sorted(STRATEGY_ORDER))
 @pytest.mark.parametrize("transform", METAMORPHIC_TRANSFORMS)
 class TestVerdictInvariance:
     def test_verdict_survives_transform(self, engine, transform):

@@ -30,17 +30,15 @@ import repro
 from repro.fuzz.campaign import run_campaign
 from repro.fuzz.gen import generate_instance
 from repro.kernel.perf import PERF
+from repro.engine import FunctionEngine, Verdict, VerifyResult, registry
 from repro.parallel.envelope import (
-    FALSIFIED,
-    UNKNOWN,
-    VERIFIED,
     WorkerEnvelope,
     budget_from_limits,
     slice_limits,
 )
 from repro.parallel.portfolio import race
 from repro.parallel.shard import SKIPPED, ShardError, shard_map
-from repro.parallel.worker import STRATEGIES, STRATEGY_ORDER, run_strategy
+from repro.parallel.worker import STRATEGY_ORDER, run_strategy
 from repro.runtime.abort import EngineAbort, MemoryOut
 from repro.runtime.budget import Budget
 from repro.runtime.chaos import ChaosMonkey
@@ -71,7 +69,7 @@ def _baseline(seed):
 
 def test_seed_sweep_covers_both_polarities():
     verdicts = {_baseline(seed)[1].verdict for seed in SEEDS}
-    assert {VERIFIED, FALSIFIED} <= verdicts, (
+    assert {Verdict.VERIFIED, Verdict.FALSIFIED} <= verdicts, (
         f"seed sweep must exercise both polarities, got {verdicts}"
     )
 
@@ -85,7 +83,7 @@ def test_parallel_race_matches_sequential(seed):
             f"seed {seed} jobs {jobs}: {parallel.verdict} != "
             f"sequential {sequential.verdict}"
         )
-        if sequential.verdict == FALSIFIED:
+        if sequential.verdict is Verdict.FALSIFIED:
             assert parallel.canonical and sequential.canonical
             assert parallel.trace.states == sequential.trace.states
             assert parallel.trace.inputs == sequential.trace.inputs
@@ -127,9 +125,9 @@ def test_slice_limits_divides_countable_resources():
         max_seconds=8.0, max_conflicts=1000, max_memory_mb=512
     )
     limits = slice_limits(budget, 4)
-    assert limits["max_seconds"] == pytest.approx(2.0, abs=0.1)
-    assert limits["max_conflicts"] == 250
-    assert limits["max_memory_mb"] == 512  # watermark passes through
+    assert limits.max_seconds == pytest.approx(2.0, abs=0.1)
+    assert limits.max_conflicts == 250
+    assert limits.max_memory_mb == 512  # watermark passes through
 
     child = budget_from_limits(limits, name="slice")
     assert child.remaining_conflicts() == 250
@@ -137,7 +135,7 @@ def test_slice_limits_divides_countable_resources():
 
 def test_slice_limits_without_budget_is_unlimited():
     limits = slice_limits(None, 4)
-    assert all(v is None for v in limits.values())
+    assert limits.unlimited()
     assert budget_from_limits(limits, name="free") is None
 
 
@@ -146,7 +144,7 @@ def test_expired_parent_budget_yields_unknown():
     budget = Budget(max_seconds=0.0)
     time.sleep(0.01)
     result = race(circuit, prop, budget=budget)
-    assert result.verdict == UNKNOWN
+    assert result.verdict is Verdict.UNKNOWN
     assert result.envelopes == []
 
 
@@ -165,7 +163,7 @@ def test_chaos_timeout_in_one_worker_is_contained(jobs):
     assert result.verified
     assert result.winner != "bdd"
     bdd = result.envelope_of("bdd")
-    assert bdd is not None and bdd.verdict == UNKNOWN
+    assert bdd is not None and bdd.verdict is Verdict.UNKNOWN
     assert bdd.abort is not None and bdd.abort.injected
     assert bdd.abort.resource == "time"
 
@@ -176,46 +174,38 @@ def test_chaos_garbage_verdict_is_contained():
     result = race(circuit, prop, jobs=2, chaos=chaos)
     assert result.verified
     bdd = result.envelope_of("bdd")
-    assert bdd.verdict == UNKNOWN
+    assert bdd.verdict is Verdict.UNKNOWN
     assert bdd.abort is not None and bdd.abort.injected
 
 
 def test_strategy_crash_degrades_to_error_envelope():
-    def exploding(circuit, prop, budget):
+    def exploding(circuit, prop, limits):
         raise RuntimeError("kaboom")
 
     circuit, prop = toggle_design()
-    original = STRATEGIES["bmc"]
-    STRATEGIES["bmc"] = exploding
-    try:
+    with registry.overlay(FunctionEngine("bmc", exploding)):
         envelope = run_strategy("bmc", circuit, prop)
-    finally:
-        STRATEGIES["bmc"] = original
-    assert envelope.verdict == "error"
+    assert envelope.verdict is Verdict.ERROR
     assert "kaboom" in envelope.detail
 
 
 def test_hard_worker_death_synthesizes_error_envelope():
     """A worker that dies without sending (os._exit) must surface as an
     ERROR envelope, not hang or crash the race.  The fork start method
-    means patching STRATEGIES in the parent reaches the child."""
+    means a registry overlay in the parent reaches the child."""
 
-    def dying(circuit, prop, budget):
+    def dying(circuit, prop, limits):
         os._exit(17)
 
     circuit, prop = toggle_design()
-    original = STRATEGIES["bmc"]
-    STRATEGIES["bmc"] = dying
-    try:
+    with registry.overlay(FunctionEngine("bmc", dying)):
         result = race(
             circuit, prop, strategies=("bmc", "kinduction"), jobs=2
         )
-    finally:
-        STRATEGIES["bmc"] = original
     assert result.verified  # kinduction still wins
     bmc_env = result.envelope_of("bmc")
     assert bmc_env is not None
-    assert bmc_env.verdict == "error"
+    assert bmc_env.verdict is Verdict.ERROR
     assert "exitcode 17" in bmc_env.detail
 
 
@@ -252,7 +242,7 @@ def test_envelope_pickles_with_abort_and_trace():
     envelope = run_strategy("bdd", instance.circuit, instance.prop,
                             chaos=chaos)
     clone = pickle.loads(pickle.dumps(envelope))
-    assert clone.verdict == envelope.verdict == UNKNOWN
+    assert clone.verdict is envelope.verdict is Verdict.UNKNOWN
     assert clone.abort.resource == "memory"
     assert clone.rss_mb == envelope.rss_mb
 
@@ -288,18 +278,16 @@ def test_parallel_race_merges_worker_perf():
     """A counter bumped inside a forked worker lands in the parent's
     PERF after the race (via the envelope's snapshot)."""
 
-    def counting(circuit, prop, budget):
+    def counting(circuit, prop, limits):
         PERF.bump("portfolio.test_bump", 7)
-        return VERIFIED, None, "counted"
+        return VerifyResult(
+            engine="bmc", verdict=Verdict.VERIFIED, detail="counted"
+        )
 
     circuit, prop = toggle_design()
-    original = STRATEGIES["bmc"]
-    STRATEGIES["bmc"] = counting
     PERF.reset()
-    try:
+    with registry.overlay(FunctionEngine("bmc", counting)):
         result = race(circuit, prop, strategies=("bmc",), jobs=2)
-    finally:
-        STRATEGIES["bmc"] = original
     assert result.verified
     assert PERF.snapshot()["counters"]["portfolio.test_bump"] == 7
     PERF.reset()

@@ -12,7 +12,8 @@ import pytest
 
 from repro.atpg.engine import AtpgBudget, AtpgOutcome, sequential_atpg
 from repro.bdd.manager import BDDError, BDDNodeLimit
-from repro.core import RfnConfig, RfnStatus, rfn_verify
+from repro.core import RfnConfig, rfn_verify
+from repro.engine import Verdict
 from repro.kernel.bitsim import BitParallelSimulator, pack_bits
 from repro.mc.encode import SymbolicEncoding
 from repro.mc.images import ImageComputer
@@ -302,7 +303,7 @@ class TestRfnBudget:
         circuit, prop = toggle_design()
         config = RfnConfig(budget=Budget(max_seconds=0.0))
         result = rfn_verify(circuit, prop, config)
-        assert result.status is RfnStatus.RESOURCE_OUT
+        assert result.status is Verdict.UNKNOWN
         assert result.failure is not None
         assert result.failure.resource == "time"
 
@@ -313,10 +314,10 @@ class TestRfnBudget:
         )
         result = rfn_verify(circuit, prop, config)
         assert result.status in (
-            RfnStatus.RESOURCE_OUT,
-            RfnStatus.FALSIFIED,
+            Verdict.UNKNOWN,
+            Verdict.FALSIFIED,
         )
-        if result.status is RfnStatus.RESOURCE_OUT:
+        if result.status is Verdict.UNKNOWN:
             assert result.failure is not None
             assert result.failure.resource in (
                 "conflicts", "time", "depth", "cubes"
@@ -326,5 +327,5 @@ class TestRfnBudget:
         circuit, prop = buggy_counter()
         config = RfnConfig(budget=Budget(max_seconds=60.0))
         result = rfn_verify(circuit, prop, config)
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         assert result.trace is not None

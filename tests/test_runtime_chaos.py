@@ -5,7 +5,8 @@ site."""
 
 import pytest
 
-from repro.core import RfnConfig, RfnStatus, rfn_verify
+from repro.core import RfnConfig, rfn_verify
+from repro.engine import Verdict
 from repro.runtime import ChaosMonkey, Timeout
 from repro.runtime.chaos import FAULTS, ChaosError, Garbage
 
@@ -128,10 +129,10 @@ class TestContainment:
         # Soundness: injected faults may cost the verdict (RESOURCE_OUT)
         # but can never manufacture a VERIFIED one for a false property.
         assert result.status in (
-            RfnStatus.FALSIFIED,
-            RfnStatus.RESOURCE_OUT,
+            Verdict.FALSIFIED,
+            Verdict.UNKNOWN,
         )
-        if result.status is RfnStatus.FALSIFIED:
+        if result.status is Verdict.FALSIFIED:
             assert result.trace is not None
 
     @pytest.mark.parametrize("fault", FAULTS)
@@ -143,8 +144,8 @@ class TestContainment:
         # Dual soundness: a fault can never falsify a true property,
         # because a FALSIFIED verdict needs a concrete replayable trace.
         assert result.status in (
-            RfnStatus.VERIFIED,
-            RfnStatus.RESOURCE_OUT,
+            Verdict.VERIFIED,
+            Verdict.UNKNOWN,
         )
 
     def test_single_injection_survived_by_retry(self):
@@ -152,7 +153,7 @@ class TestContainment:
         reference = rfn_verify(*buggy_counter())
         chaos = ChaosMonkey(plan={"reach": {0: "timeout"}})
         result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
-        assert result.status is reference.status is RfnStatus.FALSIFIED
+        assert result.status is reference.status is Verdict.FALSIFIED
         assert result.trace.length == reference.trace.length
         assert any(a.injected for a in result.aborts)
 
@@ -160,7 +161,7 @@ class TestContainment:
         circuit, prop = buggy_counter()
         chaos = ChaosMonkey(plan={"reach": "timeout"})
         result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         assert any(
             "abstract-bmc" in record.fallbacks
             for record in result.iterations
@@ -172,7 +173,7 @@ class TestContainment:
         circuit, prop = toggle_design()
         chaos = ChaosMonkey(plan={"reach": "timeout"})
         result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
 
     def test_guided_fault_not_fatal(self):
         # A single guided-search fault only delays falsification by one
@@ -180,7 +181,7 @@ class TestContainment:
         circuit, prop = buggy_counter()
         chaos = ChaosMonkey(plan={"guided": {0: "timeout"}})
         result = rfn_verify(circuit, prop, RfnConfig(chaos=chaos))
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         assert any(
             record.guided_method == "aborted"
             for record in result.iterations
@@ -193,8 +194,8 @@ class TestContainment:
         config = RfnConfig(chaos=chaos, max_iterations=32)
         result = rfn_verify(circuit, prop, config)
         assert result.status in (
-            RfnStatus.VERIFIED,        # the true reference verdict
-            RfnStatus.RESOURCE_OUT,    # or an honest give-up
+            Verdict.VERIFIED,        # the true reference verdict
+            Verdict.UNKNOWN,    # or an honest give-up
         )
         # Every injection the monkey made is visible in the abort log.
         injected = [a for a in result.aborts if a.injected]

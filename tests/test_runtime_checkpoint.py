@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-from repro.core import RfnConfig, RfnStatus, rfn_verify
+from repro.core import RfnConfig, rfn_verify
+from repro.engine import Verdict
 from repro.runtime import Budget, RfnCheckpoint
 
 from tests.conftest import buggy_counter, chain_design, toggle_design
@@ -106,9 +107,9 @@ class TestValidation:
 #: iteration, so cutting the first run at one iteration really
 #: interrupts them mid-refinement
 SEED_DESIGNS = [
-    (toggle_design, RfnStatus.VERIFIED),
-    (lambda: chain_design(5), RfnStatus.VERIFIED),
-    (buggy_counter, RfnStatus.FALSIFIED),
+    (toggle_design, Verdict.VERIFIED),
+    (lambda: chain_design(5), Verdict.VERIFIED),
+    (buggy_counter, Verdict.FALSIFIED),
 ]
 
 
@@ -129,7 +130,7 @@ class TestResume:
             *builder(),
             RfnConfig(max_iterations=1, checkpoint_path=path),
         )
-        assert first.status is RfnStatus.RESOURCE_OUT
+        assert first.status is Verdict.UNKNOWN
 
         ckpt = RfnCheckpoint.load(path)
         assert ckpt.iteration == 1
@@ -159,7 +160,7 @@ class TestResume:
         resumed = rfn_verify(
             circuit, prop, resume=RfnCheckpoint.load(path)
         )
-        assert resumed.status is RfnStatus.FALSIFIED
+        assert resumed.status is Verdict.FALSIFIED
 
         from repro.sim import Simulator
 
@@ -174,7 +175,7 @@ class TestResume:
         result = rfn_verify(
             *buggy_counter(), RfnConfig(checkpoint_path=path)
         )
-        assert result.status is RfnStatus.FALSIFIED
+        assert result.status is Verdict.FALSIFIED
         assert result.checkpoint_path == path
         assert RfnCheckpoint.load(path).status == "falsified"
 
@@ -198,7 +199,7 @@ class TestResume:
             ),
             resume=RfnCheckpoint.load(path),
         )
-        assert resumed.status is RfnStatus.FALSIFIED
+        assert resumed.status is Verdict.FALSIFIED
         final_spent = RfnCheckpoint.load(path).budget_spent
         assert final_spent["seconds"] >= first_spent["seconds"]
         assert final_spent["conflicts"] >= first_spent["conflicts"]

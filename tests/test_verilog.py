@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import RFN, RfnStatus, UnreachabilityProperty
+from repro.core import RFN, UnreachabilityProperty
+from repro.engine import Verdict
 from repro.netlist import VerilogError, parse_verilog
 from repro.sim import Simulator
 
@@ -128,7 +129,7 @@ endmodule
         c = parse_verilog(HANDSHAKE)
         prop = UnreachabilityProperty("ack_without_req", {"wd_r": 1})
         result = RFN(c, prop).run()
-        assert result.status is RfnStatus.VERIFIED
+        assert result.status is Verdict.VERIFIED
 
 
 class TestErrors:
